@@ -1,0 +1,377 @@
+package helix_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6). Each benchmark runs the corresponding experiment via
+// internal/bench and reports paper-shaped custom metrics alongside Go's
+// ns/op. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The helixbench command prints the full row-by-row output:
+//
+//	go run ./cmd/helixbench -exp all
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"helix/internal/bench"
+	"helix/internal/core"
+	"helix/internal/data"
+	"helix/internal/ml"
+	"helix/internal/nlp"
+	"helix/internal/opt"
+	"helix/internal/store"
+	"helix/internal/workloads"
+)
+
+func init() { workloads.RegisterAll() }
+
+func benchConfig() bench.Config {
+	return bench.Config{Scale: workloads.Scale{Rows: 1, CostFactor: 40}, Seed: 1}
+}
+
+// BenchmarkTable1_BasisCoverage checks the static Scikit-learn coverage
+// mapping renders (Table 1); it is a table, not a timing, so the bench
+// simply exercises the path.
+func BenchmarkTable1_BasisCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.Table1()) != 9 {
+			b.Fatal("Table 1 must have 9 rows")
+		}
+	}
+}
+
+// BenchmarkTable2_UseCaseSupport regenerates the support matrix (Table 2).
+func BenchmarkTable2_UseCaseSupport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2()
+		if len(rows) != 4 {
+			b.Fatal("Table 2 must have 4 workloads")
+		}
+	}
+}
+
+// BenchmarkFigure5_CumulativeRunTime regenerates Figure 5: cumulative run
+// time across iterations for HELIX OPT vs KeystoneML vs DeepDive on all
+// four workflows. Custom metrics report the headline speedups.
+func BenchmarkFigure5_CumulativeRunTime(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig5(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup("census", "keystoneml"), "census-speedup-vs-keystoneml")
+		b.ReportMetric(r.Speedup("genomics", "keystoneml"), "genomics-speedup-vs-keystoneml")
+		b.ReportMetric(r.Speedup("nlp", "deepdive"), "nlp-speedup-vs-deepdive")
+		b.ReportMetric(r.Speedup("mnist", "keystoneml"), "mnist-speedup-vs-keystoneml")
+	}
+}
+
+// BenchmarkFigure6_Breakdown regenerates Figure 6: HELIX OPT's
+// per-iteration run time broken down by DPR / L/I / PPR plus
+// materialization time.
+func BenchmarkFigure6_Breakdown(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig6(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// PPR iterations of census should be near-free vs iteration 0.
+		s := r.Series["census"]
+		if len(s.Seconds) < 9 {
+			b.Fatal("census series too short")
+		}
+		b.ReportMetric(s.Seconds[0]/s.Seconds[8], "census-iter0-over-ppr-iter")
+	}
+}
+
+// BenchmarkFigure7a_DataScaling regenerates Figure 7a: census vs
+// census10x cumulative time for HELIX and KeystoneML on one node.
+func BenchmarkFigure7a_DataScaling(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig7a(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hx := r.SizeScaling["census10x"]["helix-opt"] / r.SizeScaling["census"]["helix-opt"]
+		ks := r.SizeScaling["census10x"]["keystoneml"] / r.SizeScaling["census"]["keystoneml"]
+		b.ReportMetric(hx, "helix-10x-scale-factor")
+		b.ReportMetric(ks, "keystoneml-10x-scale-factor")
+	}
+}
+
+// BenchmarkFigure7b_ClusterScaling regenerates Figure 7b: census10x on
+// simulated clusters of 2/4/8 workers.
+func BenchmarkFigure7b_ClusterScaling(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig7b(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ClusterScaling[2]["helix-opt"], "helix-2workers-s")
+		b.ReportMetric(r.ClusterScaling[4]["helix-opt"], "helix-4workers-s")
+		b.ReportMetric(r.ClusterScaling[8]["helix-opt"], "helix-8workers-s")
+	}
+}
+
+// BenchmarkFigure8_StateFractions regenerates Figure 8: the fraction of
+// nodes in S_p/S_l/S_c per iteration under HELIX OPT vs HELIX AM.
+func BenchmarkFigure8_StateFractions(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig8(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// OPT should achieve the same compute fractions as AM (paper:
+		// "HELIX OPT enables the exact same reuse as HELIX AM").
+		optS := r.Series["census"]["helix-opt"].States
+		amS := r.Series["census"]["helix-am"].States
+		var mismatch float64
+		for it := range optS {
+			_, _, scOpt := bench.Fractions(optS[it])
+			_, _, scAM := bench.Fractions(amS[it])
+			d := scOpt - scAM
+			if d < 0 {
+				d = -d
+			}
+			mismatch += d
+		}
+		b.ReportMetric(mismatch, "census-compute-fraction-gap")
+	}
+}
+
+// BenchmarkFigure9_MatPolicies regenerates Figure 9: cumulative run time
+// for HELIX OPT vs AM vs NM, and storage for OPT vs AM.
+func BenchmarkFigure9_MatPolicies(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig9(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tc := r.Totals("census")
+		b.ReportMetric(tc["helix-nm"]/tc["helix-opt"], "census-nm-over-opt")
+		b.ReportMetric(tc["helix-am"]/tc["helix-opt"], "census-am-over-opt")
+		st := r.FinalStorage("genomics")
+		if st["helix-opt"] > 0 {
+			b.ReportMetric(float64(st["helix-am"])/float64(st["helix-opt"]), "genomics-am-storage-over-opt")
+		}
+	}
+}
+
+// BenchmarkFigure10_Memory regenerates Figure 10: peak and average memory
+// per iteration for HELIX.
+func BenchmarkFigure10_Memory(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Fig10(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var peak uint64
+		for _, s := range r.Series {
+			for _, p := range s.PeakMem {
+				if p > peak {
+					peak = p
+				}
+			}
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak-mem-MB")
+	}
+}
+
+// BenchmarkAblation_OMPThreshold sweeps Algorithm 2's load-cost threshold
+// (the paper's choice is 2).
+func BenchmarkAblation_OMPThreshold(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, thresholds, err := bench.AblationOMPThreshold(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, th := range thresholds {
+			b.ReportMetric(res[th], "census-s-th"+itoa(int(th)))
+		}
+	}
+}
+
+// BenchmarkAblation_OEPvsGreedy quantifies the optimality gap of a greedy
+// local reuse rule against the min-cut OEP solution on random DAGs.
+func BenchmarkAblation_OEPvsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mean, worst := bench.AblationOEPGreedy(200, 1)
+		b.ReportMetric(mean*100, "mean-regret-pct")
+		b.ReportMetric(worst*100, "worst-regret-pct")
+	}
+}
+
+// BenchmarkAblation_Pruning measures the benefit of program slicing
+// (paper §5.4).
+func BenchmarkAblation_Pruning(b *testing.B) {
+	ctx := context.Background()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		on, off, err := bench.AblationPruning(ctx, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(off/on, "pruning-off-over-on")
+	}
+}
+
+// BenchmarkOEPSolver times the MAX-FLOW-based optimal execution planner
+// itself (Algorithm 1) on random DAGs of increasing size — the
+// compile-time cost HELIX pays per iteration.
+func BenchmarkOEPSolver(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		b.Run(itoa(n)+"nodes", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			d := core.NewDAG()
+			nodes := make([]*core.Node, n)
+			for i := range nodes {
+				nodes[i] = d.MustAddNode("n"+itoa(i), core.KindExtractor, core.DPR, "op", true)
+				if i > 0 {
+					if err := d.AddEdge(nodes[i-1], nodes[i]); err != nil {
+						b.Fatal(err)
+					}
+					for j := 0; j < i-1; j++ {
+						if rng.Float64() < 4.0/float64(n) {
+							if err := d.AddEdge(nodes[j], nodes[i]); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+			d.MarkOutput(nodes[n-1])
+			costs := make(map[*core.Node]opt.Costs, n)
+			for _, node := range nodes {
+				c := opt.Costs{Compute: rng.Float64() * 10}
+				if rng.Float64() < 0.5 {
+					c.Load = rng.Float64() * 10
+				} else {
+					c.Load = math.Inf(1)
+				}
+				costs[node] = c
+			}
+			c := costs[nodes[n-1]]
+			c.Required = true
+			costs[nodes[n-1]] = c
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := opt.OptimalStates(d, costs)
+				if len(plan.States) != n {
+					b.Fatal("incomplete plan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubstrate_Word2Vec times the embedding learner on the
+// genomics-scale corpus (the dominant operator of Figure 6b).
+func BenchmarkSubstrate_Word2Vec(b *testing.B) {
+	articles, _ := data.GenerateGenomics(data.GenomicsConfig{
+		Articles: 100, SentencesPerArticle: 8, Genes: 60, Functions: 6, Seed: 1,
+	})
+	var sentences [][]string
+	for _, a := range articles {
+		for _, s := range nlp.SplitSentences(a.Text) {
+			if toks := nlp.Tokenize(s); len(toks) > 0 {
+				sentences = append(sentences, toks)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ml.Word2Vec{Dim: 24, Epochs: 1, Seed: 1}).Fit(sentences); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrate_NLPParse times the CoreNLP-stand-in parse at the IE
+// workload's calibrated cost (the dominant operator of Figure 6c).
+func BenchmarkSubstrate_NLPParse(b *testing.B) {
+	articles, _ := data.GenerateIE(data.IEConfig{
+		Articles: 50, SentencesPerArticle: 8, People: 40, SpousePairs: 15, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range articles {
+			_ = nlp.Parse(a.ID, a.Text, 40)
+		}
+	}
+}
+
+// BenchmarkSubstrate_LogisticRegression times the census learner.
+func BenchmarkSubstrate_LogisticRegression(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := &ml.Dataset{Dim: 40}
+	for i := 0; i < 4000; i++ {
+		elems := map[int]float64{}
+		for j := 0; j < 8; j++ {
+			elems[rng.Intn(40)] = rng.NormFloat64()
+		}
+		y := 0.0
+		if rng.Float64() < 0.5 {
+			y = 1
+		}
+		ds.Examples = append(ds.Examples, ml.Example{X: ml.Sparse(40, elems), Y: y, Train: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (ml.LogisticRegression{RegParam: 0.1, Epochs: 5, Seed: 1}).Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrate_StoreRoundTrip times a materialize+load cycle of a
+// census-sized intermediate through the gob store.
+func BenchmarkSubstrate_StoreRoundTrip(b *testing.B) {
+	dir := b.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]float64, 64<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := "k" + itoa(i%8)
+		if _, err := st.Put(key, "bench", payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := st.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

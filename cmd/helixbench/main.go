@@ -1,0 +1,111 @@
+// Command helixbench regenerates the tables and figures of the HELIX
+// paper's evaluation (§6) on the Go reproduction. Each experiment prints
+// the same rows/series the paper reports.
+//
+// Usage:
+//
+//	helixbench -exp all                 # every experiment
+//	helixbench -exp fig5 -scale 2       # cumulative run times, 2× data
+//	helixbench -exp table2              # use-case support matrix
+//
+// Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9,
+// fig10, ablation, headline, all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"helix/internal/bench"
+	"helix/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|headline|all)")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	cost := flag.Int("cost", 40, "NLP parse cost factor")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	iters := flag.Int("iters", 0, "cap iterations per series (0 = paper schedule)")
+	flag.Parse()
+
+	workloads.RegisterAll()
+	cfg := bench.Config{
+		Scale:      workloads.Scale{Rows: *scale, CostFactor: *cost},
+		Seed:       *seed,
+		Iterations: *iters,
+	}
+	ctx := context.Background()
+
+	selected := strings.Split(*exp, ",")
+	run := func(name string) bool {
+		for _, s := range selected {
+			if s == name || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	if run("table1") {
+		fmt.Println(bench.Table1String())
+	}
+	if run("table2") {
+		fmt.Println(bench.Table2String())
+	}
+	if run("fig5") || run("headline") {
+		r, err := bench.Fig5(ctx, cfg)
+		fail(err)
+		if run("fig5") {
+			fmt.Print(r.String())
+		}
+		if run("headline") {
+			fmt.Printf("Headline (§6.5.2): helix-opt speedup on census over 10 iterations: %.1f× vs KeystoneML, %.1f× vs DeepDive (DPR prefix)\n\n",
+				r.Speedup("census", "keystoneml"), r.Speedup("census", "deepdive"))
+		}
+	}
+	if run("fig6") {
+		r, err := bench.Fig6(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("fig7a") {
+		r, err := bench.Fig7a(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("fig7b") {
+		r, err := bench.Fig7b(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("fig8") {
+		r, err := bench.Fig8(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("fig9") {
+		r, err := bench.Fig9(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("fig10") {
+		r, err := bench.Fig10(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("ablation") {
+		r, err := bench.Ablations(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helixbench:", err)
+		os.Exit(1)
+	}
+}

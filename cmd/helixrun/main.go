@@ -1,0 +1,143 @@
+// Command helixrun drives one of the paper's evaluation workflows
+// through an iterative development session and prints, per iteration,
+// the optimizer's decisions and timings — a command-line view of the
+// workflow lifecycle in paper Figure 2.
+//
+// Usage:
+//
+//	helixrun -workload census                    # HELIX OPT, paper schedule
+//	helixrun -workload genomics -system helix-am # always-materialize
+//	helixrun -workload nlp -iters 3 -v           # per-operator detail
+//
+// Workloads: census, census10x, genomics, nlp, mnist.
+// Systems: helix-opt, helix-am, helix-nm, keystoneml, deepdive.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"helix"
+	"helix/internal/core"
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "census", "workload to run (census|census10x|genomics|nlp|mnist)")
+	system := flag.String("system", "helix-opt", "system to model (helix-opt|helix-am|helix-nm|keystoneml|deepdive)")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	cost := flag.Int("cost", 40, "NLP parse cost factor")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	iters := flag.Int("iters", 0, "iterations to run (0 = paper schedule)")
+	dir := flag.String("dir", "", "materialization directory (default: temp, removed at exit)")
+	verbose := flag.Bool("v", false, "print per-operator states")
+	flag.Parse()
+
+	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "helixrun:", err)
+		os.Exit(1)
+	}
+}
+
+func systemByName(name string) (sim.System, error) {
+	for _, s := range []sim.System{sim.HelixOpt, sim.HelixAM, sim.HelixNM, sim.KeystoneML, sim.DeepDive} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return sim.System{}, fmt.Errorf("unknown system %q", name)
+}
+
+func run(workload, system string, scale, cost int, seed int64, iters int, dir string, verbose bool) error {
+	workloads.RegisterAll()
+	sys, err := systemByName(system)
+	if err != nil {
+		return err
+	}
+	if !sim.Supports(sys.Name, workload) {
+		return fmt.Errorf("%s does not support the %s workflow (paper Table 2)", sys.Name, workload)
+	}
+	wl, err := sim.NewWorkload(workload, workloads.Scale{Rows: scale, CostFactor: cost}, seed)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "helixrun-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	sess, err := helix.NewSession(dir, sys.Options)
+	if err != nil {
+		return err
+	}
+
+	seq := wl.Sequence()
+	if iters <= 0 || iters > len(seq) {
+		iters = len(seq)
+	}
+	ctx := context.Background()
+	var cum float64
+	fmt.Printf("workload=%s system=%s store=%s\n\n", workload, sys.Name, dir)
+	fmt.Println("iter  type  seconds    cum        Sc  Sl  Sp   mat(s)  storage(KB)")
+	for t := 0; t < iters; t++ {
+		if t > 0 {
+			if sys.DPROnly && seq[t] != core.DPR {
+				fmt.Printf("stopping: %s supports only DPR iterations\n", sys.Name)
+				break
+			}
+			wl.Mutate(t, seq[t])
+		}
+		res, err := sess.Run(ctx, wl.Build())
+		if err != nil {
+			return fmt.Errorf("iteration %d: %w", t, err)
+		}
+		cum += res.Wall.Seconds()
+		fmt.Printf("%-5d %-5s %8.3f  %8.3f   %3d %3d %3d  %6.3f  %10d\n",
+			t, seq[t], res.Wall.Seconds(), cum,
+			res.StateCounts[core.StateCompute],
+			res.StateCounts[core.StateLoad],
+			res.StateCounts[core.StatePrune],
+			res.MatTime.Seconds(), res.StorageBytes/1024)
+		if verbose {
+			printNodes(res)
+		}
+	}
+	fmt.Printf("\noutputs of the final iteration:\n")
+	printOutputs(wl, sess)
+	return nil
+}
+
+func printNodes(res *helix.Result) {
+	names := make([]string, 0, len(res.Nodes))
+	for name := range res.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := res.Nodes[name]
+		fmt.Printf("        %-20s %-3s %-4v %8.3fs\n", name, n.Component, n.State, n.Seconds)
+	}
+}
+
+func printOutputs(wl workloads.Workload, sess *helix.Session) {
+	// Re-run costs nothing extra: everything is reusable, outputs load.
+	res, err := sess.Run(context.Background(), wl.Build())
+	if err != nil {
+		fmt.Println("  (unavailable:", err, ")")
+		return
+	}
+	names := make([]string, 0, len(res.Values))
+	for name := range res.Values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s = %v\n", name, res.Values[name])
+	}
+}

@@ -1,0 +1,66 @@
+package helix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"helix/internal/core"
+)
+
+// DOT renders the workflow's DAG in Graphviz DOT format: one node per
+// operator, colored by workflow component as in the paper's Figure 3
+// (purple DPR, orange L/I and PPR), with outputs double-bordered. If
+// result is non-nil, each node is annotated with its execution state and
+// time from that run — a visual version of the paper's optimized-DAG
+// figures with drum/pruned markings.
+func (w *Workflow) DOT(result *Result) (string, error) {
+	prog, err := w.Compile()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", w.name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"Helvetica\"];\n")
+
+	nodes := append([]*core.Node(nil), prog.DAG.Nodes()...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	for _, n := range nodes {
+		color := "#d9c7e8" // DPR purple
+		if n.Component != core.DPR {
+			color = "#f8cf9e" // L/I + PPR orange
+		}
+		label := fmt.Sprintf("%s\\n%s", n.Name, n.Kind)
+		attrs := []string{fmt.Sprintf("fillcolor=%q", color)}
+		if result != nil {
+			if rep, ok := result.Nodes[n.Name]; ok {
+				label += fmt.Sprintf("\\n%v %.3fs", rep.State, rep.Seconds)
+				switch rep.State {
+				case core.StatePrune:
+					attrs = append(attrs, `fillcolor="#dddddd"`, `fontcolor="#888888"`)
+				case core.StateLoad:
+					attrs = append(attrs, `penwidth=2`, `color="#2266cc"`)
+				}
+				if rep.Bytes > 0 {
+					label += fmt.Sprintf("\\n⛁ %dB", rep.Bytes) // the paper's drum
+				}
+			}
+		}
+		for _, o := range prog.DAG.Outputs() {
+			if o == n {
+				attrs = append(attrs, "peripheries=2")
+			}
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		fmt.Fprintf(&b, "  %q [%s];\n", n.Name, strings.Join(attrs, ", "))
+	}
+	for _, n := range nodes {
+		children := append([]*core.Node(nil), n.Children()...)
+		sort.Slice(children, func(i, j int) bool { return children[i].Name < children[j].Name })
+		for _, c := range children {
+			fmt.Fprintf(&b, "  %q -> %q;\n", n.Name, c.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}

@@ -1,0 +1,145 @@
+// Genomics: the gene-function discovery workflow of the paper's Example 1
+// on the public API — parse literature, join entity mentions against a
+// knowledge base, learn word embeddings, cluster gene vectors.
+//
+// Three iterations demonstrate the reuse profile of unsupervised
+// multi-learner workflows: changing the cluster count K (a cheap L/I
+// knob) reuses the expensive embedding learner; changing the corpus (a
+// DPR knob) recomputes everything downstream.
+//
+//	go run ./examples/genomics
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"helix"
+	"helix/internal/data"
+	"helix/internal/ml"
+	"helix/internal/nlp"
+)
+
+func main() {
+	helix.RegisterType([]data.Article(nil))
+	helix.RegisterType(&data.GeneKB{})
+	helix.RegisterType(corpus{})
+	helix.RegisterType([][]string(nil))
+	helix.RegisterType([]string(nil))
+	helix.RegisterType(&ml.Embeddings{})
+	helix.RegisterType(&ml.Dataset{})
+	helix.RegisterType(ml.DenseVector(nil))
+	helix.RegisterType(&ml.SparseVector{})
+	helix.RegisterType(ml.ClusterSummary{})
+
+	dir, err := os.MkdirTemp("", "helix-genomics-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, err := helix.NewSession(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("iteration 0: initial workflow (articles=240, K=6)")
+	run(ctx, sess, 240, 6)
+
+	fmt.Println("\niteration 1: L/I change K=6→4 — embeddings reused, clustering recomputed")
+	run(ctx, sess, 240, 4)
+
+	fmt.Println("\niteration 2: DPR change (corpus expanded) — everything recomputed")
+	run(ctx, sess, 300, 4)
+}
+
+type corpus struct {
+	Articles []data.Article
+	KB       *data.GeneKB
+}
+
+func run(ctx context.Context, sess *helix.Session, nArticles, k int) {
+	res, err := sess.Run(ctx, buildWorkflow(nArticles, k))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := res.Values["clusterSummary"].(ml.ClusterSummary)
+	fmt.Printf("  wall %v; clusters: %d, sizes %v\n", res.Wall.Round(1000), sum.K, sum.Sizes)
+	for c, members := range sum.TopMembers {
+		if len(members) > 3 {
+			members = members[:3]
+		}
+		fmt.Printf("  cluster %d: %s\n", c, strings.Join(members, ", "))
+	}
+	for _, name := range []string{"corpus", "tokens", "embeddings", "clusters"} {
+		n := res.Nodes[name]
+		fmt.Printf("  %-11s state=%-2v time=%.3fs\n", name, n.State, n.Seconds)
+	}
+}
+
+func buildWorkflow(nArticles, k int) *helix.Workflow {
+	wf := helix.New("genomics-example")
+
+	src := wf.Source("corpus", fmt.Sprintf("pubmed articles=%d seed=3", nArticles),
+		func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+			articles, kb := data.GenerateGenomics(data.GenomicsConfig{
+				Articles: nArticles, SentencesPerArticle: 8, Genes: 48, Functions: 6, Seed: 3,
+			})
+			return corpus{Articles: articles, KB: kb}, nil
+		})
+
+	tokens := wf.Scanner("tokens", "tokenize v1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		c := in[0].(corpus)
+		var out [][]string
+		for _, a := range c.Articles {
+			for _, s := range nlp.SplitSentences(a.Text) {
+				if toks := nlp.Tokenize(s); len(toks) > 0 {
+					out = append(out, toks)
+				}
+			}
+		}
+		return out, nil
+	}, src)
+
+	embeddings := wf.Learner("embeddings", "word2vec dim=24 epochs=3", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return ml.Word2Vec{Dim: 24, Epochs: 3, Seed: 5}.Fit(in[0].([][]string))
+	}, tokens)
+
+	geneVectors := wf.Synthesizer("geneVectors", "join(embeddings, geneKB)", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		emb := in[0].(*ml.Embeddings)
+		c := in[1].(corpus)
+		ds := &ml.Dataset{Dim: emb.Dim}
+		// Deterministic gene order for reproducible clustering.
+		names := c.KB.Names()
+		sort.Strings(names)
+		for _, g := range names {
+			if v, ok := emb.Vector(g); ok {
+				ds.Examples = append(ds.Examples, ml.Example{X: v, ID: g, Train: true})
+			}
+		}
+		if len(ds.Examples) == 0 {
+			return nil, fmt.Errorf("no gene vectors")
+		}
+		return ds, nil
+	}, embeddings, src)
+
+	clusters := wf.Learner("clusters", fmt.Sprintf("kmeans K=%d", k), func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		ds := in[0].(*ml.Dataset)
+		kk := k
+		if kk > len(ds.Examples) {
+			kk = len(ds.Examples)
+		}
+		return ml.KMeans{K: kk, Seed: 7}.Fit(ds)
+	}, geneVectors)
+
+	wf.Reducer("clusterSummary", "summary top=5", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return ml.SummarizeClusters(in[0].(*ml.KMeansModel), in[1].(*ml.Dataset), 5), nil
+	}, clusters, geneVectors).
+		IsOutput()
+
+	return wf
+}

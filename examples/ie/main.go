@@ -1,0 +1,195 @@
+// IE: the spouse-extraction workflow from the paper's information
+// extraction evaluation (§6.2) on the public API — an expensive NLP parse,
+// candidate person-pair extraction with distant supervision against a
+// knowledge base, linguistic featurization, and a logistic-regression
+// extractor scored by F1.
+//
+// Two DPR iterations demonstrate the workflow's defining reuse property
+// (Figure 5c): feature-engineering changes never touch the parse, so the
+// dominant parsing cost is paid exactly once.
+//
+//	go run ./examples/ie
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"helix"
+	"helix/internal/data"
+	"helix/internal/ml"
+	"helix/internal/nlp"
+)
+
+type corpus struct {
+	Articles []data.Article
+	KB       *data.SpouseKB
+}
+
+type candidate struct {
+	A, B    string
+	Between []string
+	POSSeq  []string
+	Label   float64
+}
+
+func main() {
+	helix.RegisterType(corpus{})
+	helix.RegisterType([]nlp.Document(nil))
+	helix.RegisterType([]candidate(nil))
+	helix.RegisterType(&ml.Dataset{})
+	helix.RegisterType(ml.DenseVector(nil))
+	helix.RegisterType(&ml.SparseVector{})
+	helix.RegisterType(map[string]float64(nil))
+
+	dir, err := os.MkdirTemp("", "helix-ie-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, err := helix.NewSession(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("iteration 0: word features (parse computed once)")
+	run(ctx, sess, false)
+
+	fmt.Println("\niteration 1: DPR change — add POS features; parse reused")
+	run(ctx, sess, true)
+}
+
+func run(ctx context.Context, sess *helix.Session, usePOS bool) {
+	res, err := sess.Run(ctx, buildWorkflow(usePOS))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Values["f1"].(map[string]float64)
+	fmt.Printf("  wall %v; precision=%.2f recall=%.2f f1=%.2f\n",
+		res.Wall.Round(1000), m["precision"], m["recall"], m["f1"])
+	for _, name := range []string{"news", "parsedDocs", "candidates", "examples", "spousePred"} {
+		n := res.Nodes[name]
+		fmt.Printf("  %-11s state=%-2v time=%.3fs\n", name, n.State, n.Seconds)
+	}
+}
+
+func buildWorkflow(usePOS bool) *helix.Workflow {
+	wf := helix.New("ie-example")
+
+	src := wf.Source("news", "news articles=150 seed=5", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		articles, kb := data.GenerateIE(data.IEConfig{
+			Articles: 150, SentencesPerArticle: 8, People: 40, SpousePairs: 14, Seed: 5,
+		})
+		return corpus{Articles: articles, KB: kb}, nil
+	})
+
+	parsed := wf.Scanner("parsedDocs", "CoreNLP parse cost=60", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		c := in[0].(corpus)
+		docs := make([]nlp.Document, len(c.Articles))
+		for i, a := range c.Articles {
+			docs[i] = nlp.Parse(a.ID, a.Text, 60)
+		}
+		return docs, nil
+	}, src)
+
+	candidates := wf.Scanner("candidates", "pairExtractor window=6", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		docs := in[0].([]nlp.Document)
+		c := in[1].(corpus)
+		var out []candidate
+		for _, d := range docs {
+			for _, s := range d.Sentences {
+				out = append(out, extractPairs(s, c.KB)...)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no candidates")
+		}
+		return out, nil
+	}, parsed, src)
+
+	featureParams := "features=words"
+	if usePOS {
+		featureParams = "features=words+pos"
+	}
+	examples := wf.Synthesizer("examples", featureParams, func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		cands := in[0].([]candidate)
+		raw := make([]ml.RawFeatures, len(cands))
+		for i, c := range cands {
+			rf := ml.RawFeatures{"gap": ml.Num(float64(len(c.Between)))}
+			for _, w := range c.Between {
+				rf["w:"+w] = ml.Num(1)
+			}
+			if usePOS {
+				for _, p := range c.POSSeq {
+					rf["p:"+p] = ml.Num(1)
+				}
+			}
+			raw[i] = rf
+		}
+		fs := ml.FitFeatureSpace(raw)
+		ds := &ml.Dataset{Dim: fs.Dim(), Examples: make([]ml.Example, len(cands))}
+		for i, c := range cands {
+			ds.Examples[i] = ml.Example{X: fs.Vectorize(raw[i]), Y: c.Label, Train: i%5 != 0}
+		}
+		return ds, nil
+	}, candidates)
+
+	pred := wf.Learner("spousePred", "LR reg=0.1 epochs=15", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		ds := in[0].(*ml.Dataset)
+		model, err := ml.LogisticRegression{RegParam: 0.1, Epochs: 15, Seed: 3}.Fit(ds)
+		if err != nil {
+			return nil, err
+		}
+		// Carry the fitted model and dataset forward for evaluation.
+		return &scored{Model: model, Data: ds}, nil
+	}, examples)
+	helix.RegisterType(&scored{})
+	helix.RegisterType(&ml.LRModel{})
+
+	wf.Reducer("f1", "PRF1 on test split", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		s := in[0].(*scored)
+		_, test := s.Data.Split()
+		r := ml.BinaryPRF1(s.Model, test)
+		return map[string]float64{"precision": r.Precision, "recall": r.Recall, "f1": r.F1}, nil
+	}, pred).
+		IsOutput()
+
+	return wf
+}
+
+// scored pairs a fitted model with its dataset for downstream evaluation.
+type scored struct {
+	Model *ml.LRModel
+	Data  *ml.Dataset
+}
+
+func extractPairs(s nlp.Sentence, kb *data.SpouseKB) []candidate {
+	var people []int
+	for i, t := range s {
+		if data.IsPersonToken(t.Text) {
+			people = append(people, i)
+		}
+	}
+	var out []candidate
+	for i := 0; i < len(people); i++ {
+		for j := i + 1; j < len(people); j++ {
+			a, b := people[i], people[j]
+			if b-a-1 > 6 {
+				continue
+			}
+			c := candidate{A: s[a].Text, B: s[b].Text}
+			for k := a + 1; k < b; k++ {
+				c.Between = append(c.Between, s[k].Text)
+				c.POSSeq = append(c.POSSeq, s[k].POS)
+			}
+			if kb.Known(c.A, c.B) {
+				c.Label = 1
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Iterate: a full 10-iteration development session on the paper's census
+// workflow (paper §6.3), printing the optimizer's per-operator decisions
+// — compute (Sc), load (Sl), or prune (Sp) — at every iteration, plus the
+// cumulative time of a from-scratch baseline for comparison.
+//
+// This is the paper's Figure 2 lifecycle made visible: DAG compilation,
+// change tracking, OEP planning, execution with selective
+// materialization, repeat.
+//
+//	go run ./examples/iterate
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"helix"
+	"helix/internal/core"
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+func main() {
+	workloads.RegisterAll()
+	ctx := context.Background()
+
+	scale := workloads.Scale{Rows: 1, CostFactor: 40}
+
+	// HELIX session with the paper's default configuration.
+	dirOpt, err := os.MkdirTemp("", "helix-iterate-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dirOpt)
+	sess, err := helix.NewSession(dirOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// From-scratch baseline (KeystoneML-style) for the same sequence.
+	baseline, err := helix.NewSession(os.TempDir()+"/helix-iterate-baseline",
+		helix.Options{Policy: helix.PolicyNever, DisableReuse: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(os.TempDir() + "/helix-iterate-baseline")
+
+	wlOpt, _ := sim.NewWorkload("census", scale, 1)
+	wlBase, _ := sim.NewWorkload("census", scale, 1)
+	seq := wlOpt.Sequence()
+
+	var cumOpt, cumBase float64
+	fmt.Println("iter  type  helix(s)  cum      scratch(s)  cum      decisions")
+	for t := 0; t < len(seq); t++ {
+		if t > 0 {
+			wlOpt.Mutate(t, seq[t])
+			wlBase.Mutate(t, seq[t])
+		}
+		resOpt, err := sess.Run(ctx, wlOpt.Build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		resBase, err := baseline.Run(ctx, wlBase.Build())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cumOpt += resOpt.Wall.Seconds()
+		cumBase += resBase.Wall.Seconds()
+		fmt.Printf("%-5d %-5s %8.3f  %7.3f  %10.3f  %7.3f  %s\n",
+			t, seq[t], resOpt.Wall.Seconds(), cumOpt,
+			resBase.Wall.Seconds(), cumBase, decisions(resOpt))
+	}
+	fmt.Printf("\ncumulative speedup over from-scratch: %.1f×\n", cumBase/cumOpt)
+	fmt.Printf("storage used by HELIX: %d KB\n", sess.StorageBytes()/1024)
+}
+
+// decisions summarizes per-node states compactly, grouped by state.
+func decisions(res *helix.Result) string {
+	byState := map[core.State][]string{}
+	for name, n := range res.Nodes {
+		byState[n.State] = append(byState[n.State], name)
+	}
+	out := ""
+	for _, st := range []core.State{core.StateCompute, core.StateLoad, core.StatePrune} {
+		names := byState[st]
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		if len(names) > 3 {
+			names = append(names[:3], fmt.Sprintf("+%d", len(byState[st])-3))
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%v:%v", st, names)
+	}
+	return out
+}

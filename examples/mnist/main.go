@@ -1,0 +1,137 @@
+// MNIST: the digit-classification workflow from KeystoneML's evaluation
+// (paper §6.2) on the public API — synthetic digit images, a
+// NONDETERMINISTIC random-Fourier-feature preprocessing step, a softmax
+// classifier, and an accuracy reducer.
+//
+// The second iteration changes only the evaluation (PPR): HELIX loads the
+// materialized predictions and prunes both the classifier and the
+// nondeterministic feature map, which is never materialized (its output
+// is a single random draw and cannot stand in for a fresh one).
+//
+//	go run ./examples/mnist
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync/atomic"
+
+	"helix"
+	"helix/internal/data"
+	"helix/internal/ml"
+)
+
+type predictions struct {
+	Scores, Labels []float64
+	Train          []bool
+}
+
+var runCounter atomic.Int64
+
+func main() {
+	helix.RegisterType([]data.Image(nil))
+	helix.RegisterType(&ml.Dataset{})
+	helix.RegisterType(ml.DenseVector(nil))
+	helix.RegisterType(&ml.SparseVector{})
+	helix.RegisterType(predictions{})
+	helix.RegisterType(map[string]float64(nil))
+
+	dir, err := os.MkdirTemp("", "helix-mnist-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, err := helix.NewSession(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("iteration 0: initial workflow")
+	run(ctx, sess, "accuracy")
+
+	fmt.Println("\niteration 1: PPR change — predictions loaded, RFF + learner pruned")
+	run(ctx, sess, "accuracy+errors")
+}
+
+func run(ctx context.Context, sess *helix.Session, metric string) {
+	res, err := sess.Run(ctx, buildWorkflow(metric))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wall %v; %v\n", res.Wall.Round(1000), res.Values["checked"])
+	for _, name := range []string{"images", "pixels", "rffFeatures", "digitPred", "checked"} {
+		n := res.Nodes[name]
+		fmt.Printf("  %-12s state=%-2v time=%.3fs\n", name, n.State, n.Seconds)
+	}
+}
+
+func buildWorkflow(metric string) *helix.Workflow {
+	wf := helix.New("mnist-example")
+
+	src := wf.Source("images", "digits train=1200 test=300 seed=9", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return data.GenerateDigits(data.DigitsConfig{TrainImages: 1200, TestImages: 300, Side: 16, Seed: 9}), nil
+	})
+
+	pixels := wf.Scanner("pixels", "flatten", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		imgs := in[0].([]data.Image)
+		ds := &ml.Dataset{Dim: 256, Examples: make([]ml.Example, len(imgs))}
+		for i, im := range imgs {
+			ds.Examples[i] = ml.Example{X: ml.DenseVector(im.Pixels), Y: float64(im.Label), Train: im.Train}
+		}
+		return ds, nil
+	}, src)
+
+	rff := wf.Extractor("rffFeatures", "RandomFFT D=192 gamma=0.1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		ds := in[0].(*ml.Dataset)
+		proj, err := ml.NewRFF(ds.Dim, 192, 0.1, 1000+runCounter.Add(1))
+		if err != nil {
+			return nil, err
+		}
+		return proj.ProjectDataset(ds), nil
+	}, pixels)
+	rff.Nondeterministic()
+
+	pred := wf.Learner("digitPred", "Softmax reg=0.01 epochs=12", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		ds := in[0].(*ml.Dataset)
+		model, err := ml.SoftmaxRegression{Classes: 10, RegParam: 0.01, Epochs: 12, LearningRate: 0.5, Seed: 7}.Fit(ds)
+		if err != nil {
+			return nil, err
+		}
+		p := predictions{
+			Scores: make([]float64, len(ds.Examples)),
+			Labels: make([]float64, len(ds.Examples)),
+			Train:  make([]bool, len(ds.Examples)),
+		}
+		for i, e := range ds.Examples {
+			p.Scores[i] = model.Predict(e.X)
+			p.Labels[i] = e.Y
+			p.Train[i] = e.Train
+		}
+		return p, nil
+	}, rff)
+
+	wf.Reducer("checked", "Reducer metric="+metric, func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		p := in[0].(predictions)
+		var n, correct int
+		for i := range p.Scores {
+			if p.Train[i] {
+				continue
+			}
+			n++
+			if p.Scores[i] == p.Labels[i] {
+				correct++
+			}
+		}
+		out := map[string]float64{"accuracy": float64(correct) / float64(n)}
+		if metric == "accuracy+errors" {
+			out["errors"] = float64(n - correct)
+		}
+		return out, nil
+	}, pred).
+		IsOutput()
+
+	return wf
+}

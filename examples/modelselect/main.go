@@ -1,0 +1,124 @@
+// Modelselect: hyperparameter search as a workflow operator — the
+// paper's Table 1 "selection: fit(p1, . . . , pn)" composition (a reduce
+// implemented in terms of learning, inference, and reduce), expressed as
+// a HELIX Learner whose function runs a cross-validated grid search.
+//
+// Iteration 1 widens the hyperparameter grid (an L/I change): the
+// assembled dataset is reused from disk and only the search reruns.
+//
+//	go run ./examples/modelselect
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"helix"
+	"helix/internal/ml"
+)
+
+func main() {
+	helix.RegisterType(&ml.Dataset{})
+	helix.RegisterType(ml.DenseVector(nil))
+	helix.RegisterType(&ml.SparseVector{})
+	helix.RegisterType(&ml.LRModel{})
+	helix.RegisterType(searchOutput{})
+	helix.RegisterType(map[string]float64(nil))
+
+	dir, err := os.MkdirTemp("", "helix-modelselect-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sess, err := helix.NewSession(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("iteration 0: narrow grid {0.01, 0.1}")
+	run(ctx, sess, []float64{0.01, 0.1})
+
+	fmt.Println("\niteration 1: widened grid (L/I change) — dataset reused")
+	run(ctx, sess, []float64{0.001, 0.01, 0.1, 1, 10})
+}
+
+type searchOutput struct {
+	BestReg   float64
+	BestScore float64
+	TestAcc   float64
+}
+
+func run(ctx context.Context, sess *helix.Session, grid []float64) {
+	res, err := sess.Run(ctx, buildWorkflow(grid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := res.Values["selected"].(searchOutput)
+	fmt.Printf("  wall %v; best regParam=%g (cv acc %.3f), test acc %.3f\n",
+		res.Wall.Round(1000), out.BestReg, out.BestScore, out.TestAcc)
+	for _, name := range []string{"data", "dataset", "selected"} {
+		n := res.Nodes[name]
+		fmt.Printf("  %-9s state=%-2v time=%.3fs\n", name, n.State, n.Seconds)
+	}
+}
+
+func buildWorkflow(grid []float64) *helix.Workflow {
+	wf := helix.New("modelselect")
+
+	data := wf.Source("data", "synth rows=3000 seed=17", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		time.Sleep(40 * time.Millisecond) // simulate reading from slow storage
+		rng := rand.New(rand.NewSource(17))
+		dim := 12
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		ds := &ml.Dataset{Dim: dim}
+		for i := 0; i < 3000; i++ {
+			x := make(ml.DenseVector, dim)
+			var dot float64
+			for j := range x {
+				x[j] = rng.NormFloat64()
+				dot += w[j] * x[j]
+			}
+			y := 0.0
+			if dot+rng.NormFloat64() > 0 {
+				y = 1
+			}
+			ds.Examples = append(ds.Examples, ml.Example{X: x, Y: y, Train: i%5 != 0})
+		}
+		return ds, nil
+	})
+
+	dataset := wf.Synthesizer("dataset", "identity v1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return in[0], nil
+	}, data)
+
+	gridParams := fmt.Sprintf("GridSearch(LR, reg=%v, folds=4)", grid)
+	wf.Learner("selected", gridParams, func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		ds := in[0].(*ml.Dataset)
+		candidates := make([]ml.Fitter, len(grid))
+		for i, reg := range grid {
+			candidates[i] = ml.LRFitter{LogisticRegression: ml.LogisticRegression{RegParam: reg, Epochs: 10, Seed: 1}}
+		}
+		res, err := ml.GridSearch(candidates, ds, 4, func(m ml.Model, fold *ml.Dataset) float64 {
+			return ml.BinaryAccuracy(m, fold)
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, test := ds.Split()
+		return searchOutput{
+			BestReg:   grid[res.BestIndex],
+			BestScore: res.BestScore,
+			TestAcc:   ml.BinaryAccuracy(res.Model, test),
+		}, nil
+	}, dataset).IsOutput()
+
+	return wf
+}

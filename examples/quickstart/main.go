@@ -1,0 +1,222 @@
+// Quickstart: the paper's census income-prediction workflow (Figure 3a)
+// on the public HELIX-Go API, run for two iterations to show
+// cross-iteration reuse.
+//
+// The first run computes everything and selectively materializes
+// intermediates; the second run changes only the evaluation metric (a PPR
+// iteration), so HELIX loads the learner's predictions from disk and
+// prunes the whole preprocessing and training subgraph.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"helix"
+)
+
+// row is one parsed record: column → value.
+type row map[string]string
+
+// generateCSV emits a small census-like CSV with a learnable signal:
+// higher education and age push income over the threshold.
+func generateCSV(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	edus := []string{"HS", "College", "Bachelors", "Masters", "PhD"}
+	var b strings.Builder
+	b.WriteString("age,education,hours,target\n")
+	for i := 0; i < n; i++ {
+		age := 20 + rng.Intn(45)
+		edu := rng.Intn(len(edus))
+		hours := 20 + rng.Intn(40)
+		score := float64(edu)*0.9 + float64(age)*0.05 + float64(hours)*0.04 + rng.NormFloat64()
+		target := "<=50K"
+		if score > 4.5 {
+			target = ">50K"
+		}
+		fmt.Fprintf(&b, "%d,%s,%d,%s\n", age, edus[edu], hours, target)
+	}
+	return b.String()
+}
+
+// example is one assembled training example.
+type example struct {
+	Features []float64
+	Label    float64
+	Train    bool
+}
+
+// predictions carries scores and labels to the evaluation step.
+type predictions struct {
+	Scores, Labels []float64
+	Train          []bool
+}
+
+func main() {
+	// Values that cross materialization must be gob-registered.
+	helix.RegisterType("")
+	helix.RegisterType([]row(nil))
+	helix.RegisterType([]example(nil))
+	helix.RegisterType(predictions{})
+	helix.RegisterType(map[string]float64(nil))
+
+	dir, err := os.MkdirTemp("", "helix-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sess, err := helix.NewSession(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("iteration 0: initial workflow (computes everything)")
+	res, err := sess.Run(ctx, buildWorkflow("accuracy"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+
+	fmt.Println("\niteration 1: PPR change (evaluation metric) — DPR and L/I reused")
+	res, err = sess.Run(ctx, buildWorkflow("accuracy+baserate"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res)
+}
+
+// buildWorkflow declares the census workflow; metric is the PPR knob.
+func buildWorkflow(metric string) *helix.Workflow {
+	wf := helix.New("census-quickstart")
+
+	data := wf.Source("data", "census v1 rows=4000 seed=7", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return generateCSV(4000, 7), nil
+	})
+
+	rows := wf.Scanner("rows", "CSVScanner(age,education,hours,target)", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		lines := strings.Split(strings.TrimSpace(in[0].(string)), "\n")
+		header := strings.Split(lines[0], ",")
+		out := make([]row, 0, len(lines)-1)
+		for _, l := range lines[1:] {
+			fields := strings.Split(l, ",")
+			r := make(row, len(header))
+			for i, h := range header {
+				r[h] = fields[i]
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}, data)
+
+	income := wf.Synthesizer("income", "examples(age,education,hours; label=target)", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		rs := in[0].([]row)
+		edus := map[string]float64{"HS": 0, "College": 1, "Bachelors": 2, "Masters": 3, "PhD": 4}
+		out := make([]example, len(rs))
+		for i, r := range rs {
+			age, _ := strconv.ParseFloat(r["age"], 64)
+			hours, _ := strconv.ParseFloat(r["hours"], 64)
+			label := 0.0
+			if r["target"] == ">50K" {
+				label = 1
+			}
+			out[i] = example{
+				Features: []float64{age / 65, edus[r["education"]] / 4, hours / 60},
+				Label:    label,
+				Train:    i%5 != 0,
+			}
+		}
+		return out, nil
+	}, rows)
+
+	incPred := wf.Learner("incPred", "Learner(LR, regParam=0.1, epochs=30)", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		exs := in[0].([]example)
+		w, bias := trainLogReg(exs, 0.1, 30)
+		p := predictions{
+			Scores: make([]float64, len(exs)),
+			Labels: make([]float64, len(exs)),
+			Train:  make([]bool, len(exs)),
+		}
+		for i, e := range exs {
+			p.Scores[i] = sigmoid(dot(w, e.Features) + bias)
+			p.Labels[i] = e.Label
+			p.Train[i] = e.Train
+		}
+		return p, nil
+	}, income)
+
+	wf.Reducer("checked", "Reducer(metric="+metric+", split=test)", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		p := in[0].(predictions)
+		var n, correct, pos int
+		for i := range p.Scores {
+			if p.Train[i] {
+				continue
+			}
+			n++
+			if (p.Scores[i] >= 0.5) == (p.Labels[i] >= 0.5) {
+				correct++
+			}
+			if p.Labels[i] >= 0.5 {
+				pos++
+			}
+		}
+		out := map[string]float64{"accuracy": float64(correct) / float64(n)}
+		if strings.Contains(metric, "baserate") {
+			out["baserate"] = float64(pos) / float64(n)
+		}
+		return out, nil
+	}, incPred).
+		IsOutput()
+
+	return wf
+}
+
+func report(res *helix.Result) {
+	fmt.Printf("  wall time: %v\n", res.Wall.Round(1000))
+	for name, v := range res.Values {
+		fmt.Printf("  output %s = %v\n", name, v)
+	}
+	for _, name := range []string{"data", "rows", "income", "incPred", "checked"} {
+		n := res.Nodes[name]
+		fmt.Printf("  %-8s state=%-2v time=%.3fs\n", name, n.State, n.Seconds)
+	}
+}
+
+// Minimal logistic regression on dense feature slices.
+func trainLogReg(exs []example, lr float64, epochs int) ([]float64, float64) {
+	dim := len(exs[0].Features)
+	w := make([]float64, dim)
+	var bias float64
+	for ep := 0; ep < epochs; ep++ {
+		for _, e := range exs {
+			if !e.Train {
+				continue
+			}
+			err := sigmoid(dot(w, e.Features)+bias) - e.Label
+			for j := range w {
+				w[j] -= lr * err * e.Features[j]
+			}
+			bias -= lr * err
+		}
+	}
+	return w, bias
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }

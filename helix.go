@@ -1,0 +1,69 @@
+// Package helix is a Go reproduction of HELIX (Xin et al., PVLDB 12(4),
+// 2018): a declarative machine-learning workflow system that optimizes
+// execution across iterations — intelligently reusing materialized
+// intermediate results, or recomputing them, as appropriate.
+//
+// A workflow is declared once through the Workflow builder (the Go
+// analogue of the paper's HML DSL, §3): data sources, scanners,
+// extractors, synthesizers, learners and reducers, wired by input/output
+// relationships into a DAG. A Session then executes the workflow; on
+// every subsequent run it compares the new DAG against the previous
+// iteration's (operator-level change tracking, §4.2), computes the
+// optimal mix of loading, computing and pruning per node by reduction to
+// MAX-FLOW (OPT-EXEC-PLAN, §5.2), and while running decides which fresh
+// intermediates to materialize for the benefit of future iterations
+// (OPT-MAT-PLAN streaming heuristic, §5.3).
+//
+// Basic use:
+//
+//	wf := helix.New("census")
+//	rows := wf.Scanner("rows", "csv", parse, wf.Source("data", "v1", read))
+//	ext := wf.Extractor("age", "col=age", extractAge, rows)
+//	income := wf.Synthesizer("income", "label=target", assemble, ext)
+//	pred := wf.Learner("incPred", "LR reg=0.1", train, income)
+//	acc := wf.Reducer("checked", "accuracy", evaluate, pred)
+//	acc.IsOutput()
+//
+//	sess, _ := helix.NewSession(dir)
+//	res, _ := sess.Run(ctx, wf)     // iteration 0: full run
+//	// ... modify the workflow declaration ...
+//	res, _ = sess.Run(ctx, wf2)     // iteration 1: reuses unchanged work
+package helix
+
+import (
+	"helix/internal/core"
+	"helix/internal/store"
+)
+
+// Value is the unit of data flowing between operators: a data collection,
+// an ML model, or a scalar (paper §3.2: "A HELIX operator takes one or
+// more DCs and outputs DCs, ML models, or scalars").
+type Value = any
+
+// State is the execution state the optimizer assigns to an operator in a
+// given iteration (paper §5.1).
+type State = core.State
+
+// The three operator states of the paper: computed from inputs, loaded
+// from a previous iteration's materialization, or pruned entirely.
+const (
+	StateCompute = core.StateCompute
+	StateLoad    = core.StateLoad
+	StatePrune   = core.StatePrune
+)
+
+// Component classifies operators into the paper's three workflow
+// components (§2): data preprocessing, learning/inference, postprocessing.
+type Component = core.Component
+
+// Workflow component constants.
+const (
+	DPR = core.DPR
+	LI  = core.LI
+	PPR = core.PPR
+)
+
+// RegisterType registers a concrete Go type for materialization, like
+// gob.Register. Operator outputs that should be materialized and reloaded
+// across program restarts must have their types registered.
+func RegisterType(v any) { store.Register(v) }

@@ -1,0 +1,70 @@
+package helix
+
+import (
+	"sort"
+	"time"
+
+	"helix/internal/core"
+)
+
+// IterationRecord summarizes one executed iteration for introspection —
+// a first step toward the paper's future-work goal of "introspection and
+// querying across workflow versions over time" (§8).
+type IterationRecord struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// WorkflowName is the declared workflow name.
+	WorkflowName string
+	// Started is the wall-clock start of the run.
+	Started time.Time
+	// Wall is the iteration's duration.
+	Wall time.Duration
+	// States counts live operators per execution state.
+	States map[State]int
+	// Changed lists operators that were original this iteration (had no
+	// equivalent in the previous one) — the user-visible "what did my
+	// edit invalidate" answer.
+	Changed []string
+	// MatTime is the materialization overhead.
+	MatTime time.Duration
+	// StorageBytes is store usage after the iteration.
+	StorageBytes int64
+}
+
+// History returns the session's per-iteration records, oldest first. The
+// slice is owned by the caller.
+func (s *Session) History() []IterationRecord {
+	out := make([]IterationRecord, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// recordHistory appends an iteration record derived from a run result.
+func (s *Session) recordHistory(wf *Workflow, res *Result, started time.Time, changed []string) {
+	rec := IterationRecord{
+		Iteration:    res.Iteration,
+		WorkflowName: wf.Name(),
+		Started:      started,
+		Wall:         res.Wall,
+		States:       make(map[State]int, 3),
+		Changed:      changed,
+		MatTime:      res.MatTime,
+		StorageBytes: res.StorageBytes,
+	}
+	for st, n := range res.StateCounts {
+		rec.States[st] = n
+	}
+	s.history = append(s.history, rec)
+}
+
+// changedOperators lists nodes marked original by the engine's change
+// tracking. It recomputes signatures against the previous DAG, matching
+// what the engine did during the run.
+func changedOperators(d *core.DAG, prev *core.DAG) []string {
+	var out []string
+	for n := range d.OriginalNodes(prev) {
+		out = append(out, n.Name)
+	}
+	sort.Strings(out)
+	return out
+}

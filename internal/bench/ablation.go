@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"helix"
+	"helix/internal/core"
+	"helix/internal/opt"
+	"helix/internal/sim"
+)
+
+// AblationResult holds the design-choice ablations DESIGN.md calls out:
+// the streaming OMP threshold, min-cut OEP vs a greedy local rule, and
+// pruning on/off.
+type AblationResult struct {
+	// OMPThreshold: threshold multiplier → census cumulative seconds.
+	OMPThreshold map[float64]float64
+	Thresholds   []float64
+	// OEPGap is the mean relative regret of greedy vs optimal plans on
+	// random DAG instances (0 = greedy always optimal); OEPGapWorst the
+	// maximum observed.
+	OEPGap      float64
+	OEPGapWorst float64
+	// PruningOn/PruningOff: census cumulative seconds with program
+	// slicing enabled and disabled.
+	PruningOn, PruningOff float64
+	// Amortized compares Algorithm 2 against the survey-weighted variant.
+	Amortized *AmortizedComparison
+}
+
+// AblationOMPThreshold reruns the census series with Algorithm 2's
+// threshold swept over multipliers; the paper's value is 2 (write once,
+// load once).
+func AblationOMPThreshold(ctx context.Context, cfg Config) (map[float64]float64, []float64, error) {
+	thresholds := []float64{1, 2, 4, 8}
+	out := make(map[float64]float64, len(thresholds))
+	for _, th := range thresholds {
+		wl, err := sim.NewWorkload("census", cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys := sim.System{
+			Name:    fmt.Sprintf("helix-opt-th%g", th),
+			Options: helix.Options{Policy: helix.PolicyOpt, OMPThreshold: th},
+		}
+		res, err := sim.RunSeries(ctx, wl, sys, sim.Config{Iterations: cfg.Iterations})
+		if err != nil {
+			return nil, nil, err
+		}
+		out[th] = res.TotalSeconds()
+	}
+	return out, thresholds, nil
+}
+
+// AblationOEPGreedy compares the optimal min-cut OEP plan against the
+// greedy local rule on random DAG instances, returning the mean and worst
+// relative regret (greedy time / optimal time − 1).
+func AblationOEPGreedy(trials int, seed int64) (mean, worst float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	n := 0
+	for trial := 0; trial < trials; trial++ {
+		d, costs := randomOEPInstance(rng)
+		optPlan := opt.OptimalStates(d, costs)
+		greedy := opt.GreedyStates(d, costs)
+		if optPlan.Time <= 0 {
+			continue
+		}
+		regret := greedy.Time/optPlan.Time - 1
+		if regret < 0 {
+			regret = 0 // numeric noise; greedy cannot beat optimal
+		}
+		sum += regret
+		if regret > worst {
+			worst = regret
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), worst
+}
+
+// randomOEPInstance builds a random layered DAG with mixed load/compute
+// costs and some materialized nodes.
+func randomOEPInstance(rng *rand.Rand) (*core.DAG, map[*core.Node]opt.Costs) {
+	d := core.NewDAG()
+	nNodes := 6 + rng.Intn(10)
+	nodes := make([]*core.Node, nNodes)
+	for i := range nodes {
+		nodes[i] = d.MustAddNode(fmt.Sprintf("n%d", i), core.KindExtractor, core.DPR, "op", true)
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.3 {
+				if err := d.AddEdge(nodes[j], nodes[i]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	d.MarkOutput(nodes[nNodes-1])
+	live := d.Slice()
+	costs := make(map[*core.Node]opt.Costs)
+	for _, n := range nodes {
+		if !live[n] {
+			continue
+		}
+		c := opt.Costs{Compute: rng.Float64() * 10}
+		if rng.Float64() < 0.6 {
+			c.Load = rng.Float64() * 10
+		} else {
+			c.Load = math.Inf(1)
+		}
+		costs[n] = c
+	}
+	// The output is required.
+	c := costs[nodes[nNodes-1]]
+	c.Required = true
+	costs[nodes[nNodes-1]] = c
+	return d, costs
+}
+
+// AblationPruning measures census cumulative time with program slicing on
+// and off. With slicing off, extractors excluded from the output slice
+// still run (paper §5.4's raceExt example).
+func AblationPruning(ctx context.Context, cfg Config) (on, off float64, err error) {
+	for _, disable := range []bool{false, true} {
+		wl, werr := sim.NewWorkload("census", cfg.Scale, cfg.Seed)
+		if werr != nil {
+			return 0, 0, werr
+		}
+		sys := sim.System{
+			Name:    "helix-opt",
+			Options: helix.Options{Policy: helix.PolicyOpt, DisablePruning: disable},
+		}
+		res, rerr := sim.RunSeries(ctx, wl, sys, sim.Config{Iterations: cfg.Iterations})
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if disable {
+			off = res.TotalSeconds()
+		} else {
+			on = res.TotalSeconds()
+		}
+	}
+	return on, off, nil
+}
+
+// Ablations runs all three ablations.
+func Ablations(ctx context.Context, cfg Config) (*AblationResult, error) {
+	out := &AblationResult{}
+	var err error
+	out.OMPThreshold, out.Thresholds, err = AblationOMPThreshold(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.OEPGap, out.OEPGapWorst = AblationOEPGreedy(200, cfg.Seed)
+	out.PruningOn, out.PruningOff, err = AblationPruning(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Amortized, err = AblationAmortizedOMP(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the ablation rows.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — streaming OMP threshold (census cumulative seconds)\n")
+	for _, th := range r.Thresholds {
+		fmt.Fprintf(&b, "  threshold %4.0f×: %10.3f s\n", th, r.OMPThreshold[th])
+	}
+	fmt.Fprintf(&b, "Ablation — OEP greedy vs min-cut optimal on random DAGs: mean regret %.1f%%, worst %.1f%%\n",
+		r.OEPGap*100, r.OEPGapWorst*100)
+	fmt.Fprintf(&b, "Ablation — DAG pruning: on %.3f s, off %.3f s\n", r.PruningOn, r.PruningOff)
+	if a := r.Amortized; a != nil {
+		fmt.Fprintf(&b, "Ablation — amortized OMP (user model): streaming %.3f s / %d KB vs amortized %.3f s / %d KB\n",
+			a.StreamingSeconds, a.StreamingStorage/1024, a.AmortizedSeconds, a.AmortizedStorage/1024)
+	}
+	return b.String()
+}
+
+// AmortizedComparison holds the extension ablation: streaming OMP vs the
+// survey-weighted amortized OMP on the census schedule.
+type AmortizedComparison struct {
+	StreamingSeconds, AmortizedSeconds float64
+	StreamingStorage, AmortizedStorage int64
+}
+
+// AblationAmortizedOMP compares the paper's Algorithm 2 against the
+// future-work amortized variant (§5.3's user-model extension) on census:
+// with PPR-heavy schedules the amortized policy should spend no more
+// storage while keeping the run time competitive.
+func AblationAmortizedOMP(ctx context.Context, cfg Config) (*AmortizedComparison, error) {
+	out := &AmortizedComparison{}
+	for _, amortized := range []bool{false, true} {
+		wl, err := sim.NewWorkload("census", cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opts := helix.Options{Policy: helix.PolicyOpt}
+		name := "helix-opt"
+		if amortized {
+			opts = helix.Options{Policy: helix.PolicyOptAmortized, Domain: "census"}
+			name = "helix-opt-amortized"
+		}
+		res, err := sim.RunSeries(ctx, wl, sim.System{Name: name, Options: opts}, sim.Config{Iterations: cfg.Iterations})
+		if err != nil {
+			return nil, err
+		}
+		last := res.Metrics[len(res.Metrics)-1]
+		if amortized {
+			out.AmortizedSeconds = res.TotalSeconds()
+			out.AmortizedStorage = last.StorageBytes
+		} else {
+			out.StreamingSeconds = res.TotalSeconds()
+			out.StreamingStorage = last.StorageBytes
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,480 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment function runs the relevant workloads
+// and systems via the sim package and returns a structured result whose
+// String method prints rows in the shape the paper reports — per-iteration
+// and cumulative run times (Figure 5), component breakdowns (Figure 6),
+// scaling series (Figure 7), state fractions (Figure 8), materialization
+// policy comparisons and storage (Figure 9), memory (Figure 10), and the
+// support matrices (Tables 1-2).
+//
+// Absolute numbers differ from the paper's (their substrate is a 16-core
+// Spark server over hours-long workloads; ours is a process-local
+// simulator over seconds-long synthetic equivalents) but the comparative
+// shapes — who wins, by what factor, where crossovers fall — are the
+// reproduction targets. EXPERIMENTS.md records both sides.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"helix/internal/core"
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+// Config selects the workload scale for all experiments.
+type Config struct {
+	Scale workloads.Scale
+	Seed  int64
+	// Iterations caps iterations per series (0 = full paper schedule).
+	Iterations int
+}
+
+// DefaultConfig is the test-scale configuration.
+func DefaultConfig() Config {
+	return Config{Scale: workloads.Scale{Rows: 1, CostFactor: 40}, Seed: 1}
+}
+
+// Series is one plotted line: per-iteration seconds and their cumulative
+// sum for one workload under one system.
+type Series struct {
+	Workload, System string
+	Types            []core.Component
+	Seconds          []float64
+	Cumulative       []float64
+	Storage          []int64
+	PeakMem, AvgMem  []uint64
+	MatSeconds       []float64
+	Breakdown        []map[core.Component]float64
+	States           []map[core.State]int
+}
+
+func toSeries(r *sim.SeriesResult) Series {
+	s := Series{Workload: r.Workload, System: r.System, Cumulative: r.Cumulative()}
+	for _, m := range r.Metrics {
+		s.Types = append(s.Types, m.Type)
+		s.Seconds = append(s.Seconds, m.Seconds)
+		s.Storage = append(s.Storage, m.StorageBytes)
+		s.PeakMem = append(s.PeakMem, m.PeakMemBytes)
+		s.AvgMem = append(s.AvgMem, m.AvgMemBytes)
+		s.MatSeconds = append(s.MatSeconds, m.MatSeconds)
+		s.Breakdown = append(s.Breakdown, m.Breakdown)
+		s.States = append(s.States, m.States)
+	}
+	return s
+}
+
+// Total returns the series' cumulative run time.
+func (s Series) Total() float64 {
+	if len(s.Cumulative) == 0 {
+		return 0
+	}
+	return s.Cumulative[len(s.Cumulative)-1]
+}
+
+func runOne(ctx context.Context, workload string, system sim.System, cfg Config, mem bool) (Series, error) {
+	wl, err := sim.NewWorkload(workload, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	res, err := sim.RunSeries(ctx, wl, system, sim.Config{Iterations: cfg.Iterations, SampleMemory: mem})
+	if err != nil {
+		return Series{}, err
+	}
+	return toSeries(res), nil
+}
+
+// FigureWorkloads are the four evaluation workflows in paper order.
+var FigureWorkloads = []string{"census", "genomics", "nlp", "mnist"}
+
+// Fig5Result holds Figure 5: cumulative run time per workload for
+// HELIX OPT, KeystoneML, and DeepDive.
+type Fig5Result struct {
+	Series map[string][]Series // workload → series per system
+}
+
+// Fig5 runs the cumulative-run-time comparison (Figure 5a-d).
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
+	out := &Fig5Result{Series: make(map[string][]Series, len(FigureWorkloads))}
+	systems := []sim.System{sim.HelixOpt, sim.KeystoneML, sim.DeepDive}
+	for _, wlName := range FigureWorkloads {
+		for _, sys := range systems {
+			if !sim.Supports(sys.Name, wlName) {
+				continue
+			}
+			s, err := runOne(ctx, wlName, sys, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Series[wlName] = append(out.Series[wlName], s)
+		}
+	}
+	return out, nil
+}
+
+// Speedup returns the ratio of another system's cumulative time to
+// HELIX OPT's on the given workload (the paper's headline "up to 19×").
+func (r *Fig5Result) Speedup(workload, versus string) float64 {
+	var opt, other float64
+	for _, s := range r.Series[workload] {
+		switch s.System {
+		case "helix-opt":
+			opt = s.Total()
+		case versus:
+			other = s.Total()
+		}
+	}
+	if opt == 0 {
+		return 0
+	}
+	return other / opt
+}
+
+// String renders Figure 5 as per-iteration cumulative columns.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	for _, wl := range FigureWorkloads {
+		series := r.Series[wl]
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 5 — %s: cumulative run time (s)\n", wl)
+		fmt.Fprintf(&b, "%-6s %-5s", "iter", "type")
+		for _, s := range series {
+			fmt.Fprintf(&b, " %12s", s.System)
+		}
+		b.WriteByte('\n')
+		n := 0
+		for _, s := range series {
+			if len(s.Cumulative) > n {
+				n = len(s.Cumulative)
+			}
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "%-6d %-5s", i, series[0].Types[min(i, len(series[0].Types)-1)])
+			for _, s := range series {
+				if i < len(s.Cumulative) {
+					fmt.Fprintf(&b, " %12.3f", s.Cumulative[i])
+				} else {
+					fmt.Fprintf(&b, " %12s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		for _, vs := range []string{"keystoneml", "deepdive"} {
+			if sp := r.Speedup(wl, vs); sp > 0 {
+				fmt.Fprintf(&b, "  helix-opt speedup vs %s: %.1f×\n", vs, sp)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig6Result holds Figure 6: HELIX OPT's per-iteration run time broken
+// down by workflow component plus materialization time.
+type Fig6Result struct {
+	Series map[string]Series
+}
+
+// Fig6 runs the per-iteration breakdown (Figure 6a-d).
+func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
+	out := &Fig6Result{Series: make(map[string]Series, len(FigureWorkloads))}
+	for _, wlName := range FigureWorkloads {
+		s, err := runOne(ctx, wlName, sim.HelixOpt, cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Series[wlName] = s
+	}
+	return out, nil
+}
+
+// String renders Figure 6 rows: iteration, type, DPR, L/I, PPR, Mat.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	for _, wl := range FigureWorkloads {
+		s, ok := r.Series[wl]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 6 — %s: HELIX OPT run time breakdown (s)\n", wl)
+		fmt.Fprintf(&b, "%-6s %-5s %10s %10s %10s %10s\n", "iter", "type", "DPR", "L/I", "PPR", "Mat")
+		for i := range s.Seconds {
+			bd := s.Breakdown[i]
+			fmt.Fprintf(&b, "%-6d %-5s %10.3f %10.3f %10.3f %10.3f\n",
+				i, s.Types[i], bd[core.DPR], bd[core.LI], bd[core.PPR], s.MatSeconds[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7Result holds Figure 7: dataset-size scaling (a) and cluster-size
+// scaling (b).
+type Fig7Result struct {
+	// SizeScaling: workload ("census", "census10x") → system → total.
+	SizeScaling map[string]map[string]float64
+	// ClusterScaling: workers → system → total (census10x).
+	ClusterScaling map[int]map[string]float64
+	Workers        []int
+}
+
+// Fig7a runs the dataset-size scaling comparison on a single node.
+func Fig7a(ctx context.Context, cfg Config) (*Fig7Result, error) {
+	out := &Fig7Result{SizeScaling: make(map[string]map[string]float64)}
+	for _, wlName := range []string{"census", "census10x"} {
+		out.SizeScaling[wlName] = make(map[string]float64, 2)
+		for _, sys := range []sim.System{sim.HelixOpt, sim.KeystoneML} {
+			s, err := runOne(ctx, wlName, sys, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			out.SizeScaling[wlName][sys.Name] = s.Total()
+		}
+	}
+	return out, nil
+}
+
+// Fig7b runs the cluster-size scaling comparison on census10x.
+func Fig7b(ctx context.Context, cfg Config) (*Fig7Result, error) {
+	out := &Fig7Result{ClusterScaling: make(map[int]map[string]float64), Workers: []int{2, 4, 8}}
+	for _, workers := range out.Workers {
+		out.ClusterScaling[workers] = make(map[string]float64, 2)
+		for _, sys := range []sim.System{sim.HelixOpt, sim.KeystoneML} {
+			wl := workloads.NewCensusCluster(cfg.Scale, cfg.Seed, workers)
+			res, err := sim.RunSeries(ctx, wl, sys, sim.Config{Iterations: cfg.Iterations})
+			if err != nil {
+				return nil, err
+			}
+			out.ClusterScaling[workers][sys.Name] = toSeries(res).Total()
+		}
+	}
+	return out, nil
+}
+
+// String renders whichever halves of Figure 7 were run.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	if len(r.SizeScaling) > 0 {
+		b.WriteString("Figure 7a — dataset-size scaling: cumulative run time (s)\n")
+		fmt.Fprintf(&b, "%-12s %12s %12s\n", "workload", "helix-opt", "keystoneml")
+		for _, wl := range []string{"census", "census10x"} {
+			row := r.SizeScaling[wl]
+			fmt.Fprintf(&b, "%-12s %12.3f %12.3f\n", wl, row["helix-opt"], row["keystoneml"])
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.ClusterScaling) > 0 {
+		b.WriteString("Figure 7b — cluster scaling on census10x: cumulative run time (s)\n")
+		fmt.Fprintf(&b, "%-12s %12s %12s\n", "workers", "helix-opt", "keystoneml")
+		for _, w := range r.Workers {
+			row := r.ClusterScaling[w]
+			fmt.Fprintf(&b, "%-12d %12.3f %12.3f\n", w, row["helix-opt"], row["keystoneml"])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig8Result holds Figure 8: per-iteration fractions of nodes in
+// S_p/S_l/S_c for HELIX OPT and HELIX AM on census and genomics.
+type Fig8Result struct {
+	Series map[string]map[string]Series // workload → system → series
+}
+
+// Fig8 runs the state-fraction comparison.
+func Fig8(ctx context.Context, cfg Config) (*Fig8Result, error) {
+	out := &Fig8Result{Series: make(map[string]map[string]Series)}
+	for _, wlName := range []string{"census", "genomics"} {
+		out.Series[wlName] = make(map[string]Series, 2)
+		for _, sys := range []sim.System{sim.HelixOpt, sim.HelixAM} {
+			s, err := runOne(ctx, wlName, sys, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Series[wlName][sys.Name] = s
+		}
+	}
+	return out, nil
+}
+
+// Fractions returns the S_p/S_l/S_c fractions at iteration i of a series.
+func Fractions(states map[core.State]int) (sp, sl, sc float64) {
+	total := states[core.StatePrune] + states[core.StateLoad] + states[core.StateCompute]
+	if total == 0 {
+		return 0, 0, 0
+	}
+	t := float64(total)
+	return float64(states[core.StatePrune]) / t,
+		float64(states[core.StateLoad]) / t,
+		float64(states[core.StateCompute]) / t
+}
+
+// String renders Figure 8 rows.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	wls := make([]string, 0, len(r.Series))
+	for wl := range r.Series {
+		wls = append(wls, wl)
+	}
+	sort.Strings(wls)
+	for _, wl := range wls {
+		for _, sys := range []string{"helix-opt", "helix-am"} {
+			s, ok := r.Series[wl][sys]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "Figure 8 — %s / %s: fraction of nodes per state\n", wl, sys)
+			fmt.Fprintf(&b, "%-6s %-5s %8s %8s %8s\n", "iter", "type", "Sp", "Sl", "Sc")
+			for i := range s.States {
+				sp, sl, sc := Fractions(s.States[i])
+				fmt.Fprintf(&b, "%-6d %-5s %8.2f %8.2f %8.2f\n", i, s.Types[i], sp, sl, sc)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Fig9Result holds Figure 9: HELIX OPT vs AM vs NM cumulative run time on
+// all four workloads, plus storage-use series on census and genomics.
+type Fig9Result struct {
+	Series map[string][]Series // workload → per-system series
+}
+
+// Fig9 runs the materialization-policy comparison.
+func Fig9(ctx context.Context, cfg Config) (*Fig9Result, error) {
+	out := &Fig9Result{Series: make(map[string][]Series, len(FigureWorkloads))}
+	for _, wlName := range FigureWorkloads {
+		systems := []sim.System{sim.HelixOpt, sim.HelixAM, sim.HelixNM}
+		if wlName == "nlp" || wlName == "mnist" {
+			// Paper §6.6: HELIX AM did not complete in reasonable time on
+			// NLP and MNIST; Figures 9(e),(f) show only OPT and NM.
+			systems = []sim.System{sim.HelixOpt, sim.HelixNM}
+		}
+		for _, sys := range systems {
+			s, err := runOne(ctx, wlName, sys, cfg, false)
+			if err != nil {
+				return nil, err
+			}
+			out.Series[wlName] = append(out.Series[wlName], s)
+		}
+	}
+	return out, nil
+}
+
+// Totals returns system → cumulative seconds for a workload.
+func (r *Fig9Result) Totals(workload string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, s := range r.Series[workload] {
+		out[s.System] = s.Total()
+	}
+	return out
+}
+
+// FinalStorage returns system → bytes stored after the last iteration.
+func (r *Fig9Result) FinalStorage(workload string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range r.Series[workload] {
+		if len(s.Storage) > 0 {
+			out[s.System] = s.Storage[len(s.Storage)-1]
+		}
+	}
+	return out
+}
+
+// String renders Figure 9 time and storage rows.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	for _, wl := range FigureWorkloads {
+		series := r.Series[wl]
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 9 — %s: cumulative run time (s)\n", wl)
+		fmt.Fprintf(&b, "%-6s", "iter")
+		for _, s := range series {
+			fmt.Fprintf(&b, " %12s", s.System)
+		}
+		b.WriteByte('\n')
+		for i := range series[0].Cumulative {
+			fmt.Fprintf(&b, "%-6d", i)
+			for _, s := range series {
+				fmt.Fprintf(&b, " %12.3f", s.Cumulative[i])
+			}
+			b.WriteByte('\n')
+		}
+		if wl == "census" || wl == "genomics" {
+			fmt.Fprintf(&b, "Figure 9 — %s: storage in KB per iteration\n", wl)
+			fmt.Fprintf(&b, "%-6s", "iter")
+			for _, s := range series {
+				if s.System == "helix-nm" {
+					continue // always zero, omitted as in the paper
+				}
+				fmt.Fprintf(&b, " %12s", s.System)
+			}
+			b.WriteByte('\n')
+			for i := range series[0].Storage {
+				fmt.Fprintf(&b, "%-6d", i)
+				for _, s := range series {
+					if s.System == "helix-nm" {
+						continue
+					}
+					fmt.Fprintf(&b, " %12d", s.Storage[i]/1024)
+				}
+				b.WriteByte('\n')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig10Result holds Figure 10: peak and average memory per iteration for
+// HELIX OPT on all four workloads.
+type Fig10Result struct {
+	Series map[string]Series
+}
+
+// Fig10 runs the memory-usage experiment.
+func Fig10(ctx context.Context, cfg Config) (*Fig10Result, error) {
+	out := &Fig10Result{Series: make(map[string]Series, len(FigureWorkloads))}
+	for _, wlName := range FigureWorkloads {
+		s, err := runOne(ctx, wlName, sim.HelixOpt, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		out.Series[wlName] = s
+	}
+	return out, nil
+}
+
+// String renders Figure 10 rows in MB.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	for _, wl := range FigureWorkloads {
+		s, ok := r.Series[wl]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "Figure 10 — %s: HELIX memory use (MB)\n", wl)
+		fmt.Fprintf(&b, "%-6s %-5s %10s %10s\n", "iter", "type", "peak", "avg")
+		for i := range s.PeakMem {
+			fmt.Fprintf(&b, "%-6d %-5s %10.1f %10.1f\n",
+				i, s.Types[i], float64(s.PeakMem[i])/(1<<20), float64(s.AvgMem[i])/(1<<20))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"helix/internal/sim"
+)
+
+// Table1Row maps one Scikit-learn operation to its composition of basis
+// functions F (paper Table 1, §3.1.1).
+type Table1Row struct {
+	SklearnOp   string
+	Composition string
+	Section     string // "DPR, L/I" or "PPR"
+}
+
+// Table1 is the static coverage mapping of paper Table 1: every
+// Scikit-learn DPR, L/I, and PPR interface expressed as compositions of
+// the basis functions F = {parsing, join, feature extraction, feature
+// transformation, feature concatenation, learning, inference, reduce}.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"fit(X[, y])", "learning (D → f)", "DPR, L/I"},
+		{"predict_proba(X)", "inference ((D, f) → Y)", "DPR, L/I"},
+		{"predict(X)", "inference, optionally followed by transformation", "DPR, L/I"},
+		{"fit_predict(X[, y])", "learning, then inference", "DPR, L/I"},
+		{"transform(X)", "transformation or inference, depending on prior fit", "DPR, L/I"},
+		{"fit_transform(X)", "learning, then inference", "DPR, L/I"},
+		{"eval: score(ytrue, ypred)", "join ytrue and ypred into one dataset, then reduce", "PPR"},
+		{"eval: score(op, X, y)", "inference, then join, then reduce", "PPR"},
+		{"selection: fit(p1..pn)", "reduce over learning, inference, and reduce (scoring)", "PPR"},
+	}
+}
+
+// Table1String renders Table 1.
+func Table1String() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — Scikit-learn coverage in terms of basis functions F\n")
+	fmt.Fprintf(&b, "%-26s %-60s %s\n", "Scikit-learn", "composed members of F", "part")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%-26s %-60s %s\n", r.SklearnOp, r.Composition, r.Section)
+	}
+	return b.String()
+}
+
+// Table2Row is one workload row of the use-case support matrix.
+type Table2Row struct {
+	Workload      string
+	NumSources    string
+	InputMapping  string
+	Granularity   string
+	TaskType      string
+	Domain        string
+	SupportedBy   []string
+	UnsupportedBy []string
+}
+
+// Table2 reproduces the support matrix of paper Table 2 by querying the
+// sim package's support predicate for every (system, workload) pair.
+func Table2() []Table2Row {
+	meta := map[string][5]string{
+		"census":   {"Single", "One-to-One", "Fine Grained", "Supervised; Classification", "Social Sciences"},
+		"genomics": {"Multiple", "One-to-Many", "N/A", "Unsupervised", "Natural Sciences"},
+		"nlp":      {"Multiple", "One-to-Many", "Fine Grained", "Structured Prediction", "NLP"},
+		"mnist":    {"Single", "One-to-One", "Coarse Grained", "Supervised; Classification", "Computer Vision"},
+	}
+	systems := []string{"helix-opt", "keystoneml", "deepdive"}
+	var rows []Table2Row
+	for _, wl := range FigureWorkloads {
+		m := meta[wl]
+		row := Table2Row{
+			Workload: wl, NumSources: m[0], InputMapping: m[1],
+			Granularity: m[2], TaskType: m[3], Domain: m[4],
+		}
+		for _, sys := range systems {
+			if sim.Supports(sys, wl) {
+				row.SupportedBy = append(row.SupportedBy, sys)
+			} else {
+				row.UnsupportedBy = append(row.UnsupportedBy, sys)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table2String renders Table 2.
+func Table2String() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — workflow characteristics and system support\n")
+	fmt.Fprintf(&b, "%-10s %-9s %-12s %-14s %-28s %-17s %s\n",
+		"workload", "sources", "mapping", "granularity", "task", "domain", "supported by")
+	for _, r := range Table2() {
+		fmt.Fprintf(&b, "%-10s %-9s %-12s %-14s %-28s %-17s %s\n",
+			r.Workload, r.NumSources, r.InputMapping, r.Granularity, r.TaskType, r.Domain,
+			strings.Join(r.SupportedBy, ","))
+	}
+	return b.String()
+}

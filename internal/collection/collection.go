@@ -1,0 +1,274 @@
+// Package collection is HELIX-Go's dataflow substrate, standing in for
+// Spark in the original system (paper §2.1). It provides partitioned
+// in-memory collections with data-parallel Map / FlatMap / Filter / Join /
+// GroupBy / Reduce operators executed by a configurable number of workers.
+//
+// The worker count models cluster size for the scaling experiments
+// (paper Figure 7b); an optional per-operation barrier overhead models the
+// synchronization/communication cost that grows with cluster size and
+// produces the paper's observed PPR slowdown at 8 workers.
+package collection
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Env configures the execution environment of a collection, standing in
+// for the Spark cluster configuration.
+type Env struct {
+	// Workers is the degree of parallelism (≥1). Models executors.
+	Workers int
+	// BarrierOverhead is charged once per parallel operation per worker,
+	// modeling the scheduling + shuffle communication cost of a cluster.
+	// Zero for single-node runs.
+	BarrierOverhead time.Duration
+}
+
+// DefaultEnv is a single-node environment with 4 workers and no simulated
+// communication overhead.
+func DefaultEnv() *Env { return &Env{Workers: 4} }
+
+// normalize clamps invalid configurations.
+func (e *Env) normalize() (workers int) {
+	if e == nil || e.Workers < 1 {
+		return 1
+	}
+	return e.Workers
+}
+
+// barrier simulates the per-operation synchronization cost of a cluster.
+func (e *Env) barrier() {
+	if e == nil || e.BarrierOverhead <= 0 {
+		return
+	}
+	time.Sleep(e.BarrierOverhead * time.Duration(e.normalize()))
+}
+
+// Collection is an immutable, partitioned dataset of T — the physical
+// representation behind a HELIX data collection (DC).
+type Collection[T any] struct {
+	env   *Env
+	parts [][]T
+}
+
+// New builds a collection from a slice, splitting it into one partition per
+// worker. The input slice is not copied; callers must not mutate it.
+func New[T any](env *Env, data []T) *Collection[T] {
+	w := env.normalize()
+	parts := make([][]T, 0, w)
+	n := len(data)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		parts = append(parts, data[lo:hi])
+	}
+	return &Collection[T]{env: env, parts: parts}
+}
+
+// FromPartitions builds a collection directly from partitions.
+func FromPartitions[T any](env *Env, parts [][]T) *Collection[T] {
+	return &Collection[T]{env: env, parts: parts}
+}
+
+// Env returns the collection's environment.
+func (c *Collection[T]) Env() *Env { return c.env }
+
+// Len returns the total number of elements.
+func (c *Collection[T]) Len() int {
+	n := 0
+	for _, p := range c.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// NumPartitions returns the partition count.
+func (c *Collection[T]) NumPartitions() int { return len(c.parts) }
+
+// Collect gathers all elements into a single slice in partition order.
+func (c *Collection[T]) Collect() []T {
+	out := make([]T, 0, c.Len())
+	for _, p := range c.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// forEachPartition runs f over partitions on the env's workers.
+func forEachPartition[T any](c *Collection[T], f func(pi int, part []T)) {
+	c.env.barrier()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.env.normalize())
+	for pi, part := range c.parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int, part []T) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(pi, part)
+		}(pi, part)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every element in parallel.
+func Map[T, U any](c *Collection[T], f func(T) U) *Collection[U] {
+	out := make([][]U, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		res := make([]U, len(part))
+		for i, v := range part {
+			res[i] = f(v)
+		}
+		out[pi] = res
+	})
+	return &Collection[U]{env: c.env, parts: out}
+}
+
+// FlatMap applies f to every element and concatenates the results — the
+// Scanner semantics of the paper (§3.2.2: "acts like a flatMap ... can also
+// be used to perform filtering").
+func FlatMap[T, U any](c *Collection[T], f func(T) []U) *Collection[U] {
+	out := make([][]U, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		var res []U
+		for _, v := range part {
+			res = append(res, f(v)...)
+		}
+		out[pi] = res
+	})
+	return &Collection[U]{env: c.env, parts: out}
+}
+
+// Filter keeps elements where pred is true.
+func Filter[T any](c *Collection[T], pred func(T) bool) *Collection[T] {
+	out := make([][]T, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		var res []T
+		for _, v := range part {
+			if pred(v) {
+				res = append(res, v)
+			}
+		}
+		out[pi] = res
+	})
+	return &Collection[T]{env: c.env, parts: out}
+}
+
+// Reduce folds the collection: fold accumulates within a partition starting
+// from init(), merge combines partition results. merge must be associative
+// and commutative with respect to fold results.
+func Reduce[T, A any](c *Collection[T], init func() A, fold func(A, T) A, merge func(A, A) A) A {
+	accs := make([]A, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		acc := init()
+		for _, v := range part {
+			acc = fold(acc, v)
+		}
+		accs[pi] = acc
+	})
+	result := init()
+	for _, a := range accs {
+		result = merge(result, a)
+	}
+	return result
+}
+
+// Pair is a keyed join result.
+type Pair[L, R any] struct {
+	Left  L
+	Right R
+}
+
+// Join performs an inner equi-join between two collections — the
+// Synthesizer join ∈ F of the paper. The right side is broadcast (hashed
+// once); the left side streams in parallel.
+func Join[L, R any, K comparable](left *Collection[L], right *Collection[R], keyL func(L) K, keyR func(R) K) *Collection[Pair[L, R]] {
+	index := make(map[K][]R)
+	for _, p := range right.parts {
+		for _, r := range p {
+			k := keyR(r)
+			index[k] = append(index[k], r)
+		}
+	}
+	out := make([][]Pair[L, R], len(left.parts))
+	forEachPartition(left, func(pi int, part []L) {
+		var res []Pair[L, R]
+		for _, l := range part {
+			for _, r := range index[keyL(l)] {
+				res = append(res, Pair[L, R]{Left: l, Right: r})
+			}
+		}
+		out[pi] = res
+	})
+	return &Collection[Pair[L, R]]{env: left.env, parts: out}
+}
+
+// GroupBy groups elements by key. The result is a map from key to all
+// elements with that key, in partition order.
+func GroupBy[T any, K comparable](c *Collection[T], key func(T) K) map[K][]T {
+	groups := make([]map[K][]T, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		g := make(map[K][]T)
+		for _, v := range part {
+			k := key(v)
+			g[k] = append(g[k], v)
+		}
+		groups[pi] = g
+	})
+	merged := make(map[K][]T)
+	for _, g := range groups {
+		for k, vs := range g {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+	return merged
+}
+
+// Sample returns a deterministic pseudo-random sample of approximately
+// fraction*Len() elements using the given seed.
+func Sample[T any](c *Collection[T], fraction float64, seed int64) *Collection[T] {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("collection: sample fraction %v out of [0,1]", fraction))
+	}
+	out := make([][]T, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		rng := rand.New(rand.NewSource(seed + int64(pi)))
+		var res []T
+		for _, v := range part {
+			if rng.Float64() < fraction {
+				res = append(res, v)
+			}
+		}
+		out[pi] = res
+	})
+	return &Collection[T]{env: c.env, parts: out}
+}
+
+// Repartition redistributes the collection into one partition per worker
+// of env, rebalancing after size-skewing operations.
+func Repartition[T any](c *Collection[T], env *Env) *Collection[T] {
+	return New(env, c.Collect())
+}
+
+// Split partitions a collection into two by a predicate — used to separate
+// training and test examples while keeping a unified DC (paper §3.2.1,
+// "unified learning support").
+func Split[T any](c *Collection[T], pred func(T) bool) (yes, no *Collection[T]) {
+	yesParts := make([][]T, len(c.parts))
+	noParts := make([][]T, len(c.parts))
+	forEachPartition(c, func(pi int, part []T) {
+		var y, n []T
+		for _, v := range part {
+			if pred(v) {
+				y = append(y, v)
+			} else {
+				n = append(n, v)
+			}
+		}
+		yesParts[pi] = y
+		noParts[pi] = n
+	})
+	return &Collection[T]{env: c.env, parts: yesParts}, &Collection[T]{env: c.env, parts: noParts}
+}

@@ -1,0 +1,149 @@
+package collection
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistinctKeepsFirstOccurrence(t *testing.T) {
+	c := New(DefaultEnv(), []string{"b", "a", "b", "c", "a"})
+	got := Distinct(c, func(s string) string { return s }).Collect()
+	if !reflect.DeepEqual(got, []string{"b", "a", "c"}) {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestDistinctByDerivedKey(t *testing.T) {
+	type pair struct{ K, V int }
+	c := New(DefaultEnv(), []pair{{1, 10}, {2, 20}, {1, 30}})
+	got := Distinct(c, func(p pair) int { return p.K }).Collect()
+	if len(got) != 2 || got[0].V != 10 || got[1].V != 20 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestUnionPreservesOrder(t *testing.T) {
+	a := New(DefaultEnv(), []int{1, 2})
+	b := New(DefaultEnv(), []int{3})
+	got := Union(a, b).Collect()
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+func TestUnionWithEmpty(t *testing.T) {
+	a := New(DefaultEnv(), []int{1})
+	b := New(DefaultEnv(), []int(nil))
+	if got := Union(a, b).Len(); got != 1 {
+		t.Fatalf("len = %d", got)
+	}
+	if got := Union(b, a).Len(); got != 1 {
+		t.Fatalf("len = %d", got)
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	c := New(&Env{Workers: 3}, []int{5, 2, 9, 1, 7, 3})
+	got := SortBy(c, func(a, b int) bool { return a < b }).Collect()
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 5, 7, 9}) {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestSortByStableOnEqualKeys(t *testing.T) {
+	type rec struct{ K, Seq int }
+	in := []rec{{1, 0}, {0, 1}, {1, 2}, {0, 3}}
+	c := New(&Env{Workers: 1}, in)
+	got := SortBy(c, func(a, b rec) bool { return a.K < b.K }).Collect()
+	want := []rec{{0, 1}, {0, 3}, {1, 0}, {1, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	c := New(&Env{Workers: 4}, []string{"a", "b", "a", "a", "c"})
+	got := CountByKey(c, func(s string) string { return s })
+	if got["a"] != 3 || got["b"] != 1 || got["c"] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+// Property: SortBy output equals sequential sort for random inputs and
+// worker counts.
+func TestQuickSortByMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(50)
+		}
+		workers := 1 + rng.Intn(8)
+		got := SortBy(New(&Env{Workers: workers}, in), func(a, b int) bool { return a < b }).Collect()
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distinct produces no duplicate keys and is a subset of input.
+func TestQuickDistinctInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = rng.Intn(20)
+		}
+		got := Distinct(New(&Env{Workers: 1 + rng.Intn(4)}, in), func(x int) int { return x }).Collect()
+		seen := make(map[int]bool)
+		inSet := make(map[int]bool)
+		for _, v := range in {
+			inSet[v] = true
+		}
+		for _, v := range got {
+			if seen[v] {
+				return false // duplicate survived
+			}
+			seen[v] = true
+			if !inSet[v] {
+				return false // invented element
+			}
+		}
+		return len(seen) == len(inSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountByKey sums to the input length.
+func TestQuickCountByKeyTotal(t *testing.T) {
+	f := func(xs []uint8) bool {
+		c := New(&Env{Workers: 4}, xs)
+		counts := CountByKey(c, func(x uint8) uint8 { return x % 7 })
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package core defines the Workflow DAG — the intermediate representation
+// that HELIX compiles HML programs into (paper §4). Nodes correspond to
+// operator outputs; edges correspond to input→output relationships between
+// operators. The package also implements change tracking across iterations
+// via representational equivalence (Definition 2), and the program-slicing
+// pruning of §5.4.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind classifies an operator by its HML interface (paper §3.2.2).
+type Kind int
+
+const (
+	// KindSource is a data source on disk (paper: FileSource); root nodes.
+	KindSource Kind = iota
+	// KindScanner implements parsing ∈ F (flatMap over records).
+	KindScanner
+	// KindExtractor implements feature extraction/transformation ∈ F.
+	KindExtractor
+	// KindSynthesizer implements join ∈ F and example assembly.
+	KindSynthesizer
+	// KindLearner implements learning and inference ∈ F.
+	KindLearner
+	// KindReducer implements reduce ∈ F (PPR).
+	KindReducer
+)
+
+var kindNames = [...]string{"Source", "Scanner", "Extractor", "Synthesizer", "Learner", "Reducer"}
+
+// String returns the HML interface name of the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Component classifies an operator into the three workflow components of
+// the paper (§2): data preprocessing, learning/inference, postprocessing.
+type Component int
+
+const (
+	// DPR is data preprocessing.
+	DPR Component = iota
+	// LI is learning/inference.
+	LI
+	// PPR is postprocessing.
+	PPR
+)
+
+var componentNames = [...]string{"DPR", "L/I", "PPR"}
+
+// String returns the paper's abbreviation for the component.
+func (c Component) String() string {
+	if c < 0 || int(c) >= len(componentNames) {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// State is the execution state assigned to a node by the DAG optimizer
+// (paper §5.1): load from disk, compute from inputs, or prune entirely.
+type State int
+
+const (
+	// StateCompute (S_c): compute the node from its in-memory inputs.
+	StateCompute State = iota
+	// StateLoad (S_l): load the node's result from disk.
+	StateLoad
+	// StatePrune (S_p): skip the node (neither loaded nor computed).
+	StatePrune
+)
+
+var stateNames = [...]string{"Sc", "Sl", "Sp"}
+
+// String returns the paper's notation for the state.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// Metrics records the operator statistics used by the optimizers
+// (paper §5.1): compute time c_i, load time l_i, and on-disk size s_i.
+type Metrics struct {
+	Compute time.Duration // c_i: time to compute from in-memory inputs
+	Load    time.Duration // l_i: time to load materialized result from disk
+	Size    int64         // s_i: bytes on disk when materialized
+	Known   bool          // whether metrics come from a measured run
+}
+
+// Node is one vertex of the Workflow DAG: the output of a single operator.
+type Node struct {
+	ID        int
+	Name      string
+	Kind      Kind
+	Component Component
+
+	// OpSignature identifies the operator's own declaration: name, kind,
+	// parameters, and UDF version tag. It deliberately excludes ancestry.
+	OpSignature string
+
+	// Deterministic reports whether the operator computes identical output
+	// given identical input. Nondeterministic operators (e.g. randomized
+	// feature maps without a fixed seed, as in the paper's MNIST workflow)
+	// never have equivalent materializations and are always recomputed.
+	Deterministic bool
+
+	// Metrics from the most recent execution (or a previous iteration, per
+	// §5.2: statistics of equivalent nodes carry over exactly).
+	Metrics Metrics
+
+	parents  []*Node
+	children []*Node
+
+	// chainSig is the chained signature implementing Definition 2; computed
+	// lazily by DAG.ComputeSignatures.
+	chainSig string
+}
+
+// Parents returns the node's direct inputs in insertion order. The returned
+// slice must not be modified.
+func (n *Node) Parents() []*Node { return n.parents }
+
+// Children returns the node's direct consumers in insertion order. The
+// returned slice must not be modified.
+func (n *Node) Children() []*Node { return n.children }
+
+// ChainSignature returns the equivalence signature of the node: a hash of
+// its own operator signature chained with the signatures of all ancestors.
+// Two nodes across iterations with equal chain signatures are equivalent in
+// the sense of Definition 2 (same operator declaration, equivalent parents).
+// Empty until DAG.ComputeSignatures has run.
+func (n *Node) ChainSignature() string { return n.chainSig }
+
+// DAG is a workflow DAG G_W = (N, E). Nodes are identified by unique names
+// (the HML variable bound with refers_to).
+type DAG struct {
+	nodes   []*Node
+	byName  map[string]*Node
+	outputs []*Node
+}
+
+// NewDAG returns an empty workflow DAG.
+func NewDAG() *DAG {
+	return &DAG{byName: make(map[string]*Node)}
+}
+
+// AddNode creates a node and adds it to the DAG. It returns an error if the
+// name is already taken.
+func (d *DAG) AddNode(name string, kind Kind, comp Component, opSig string, deterministic bool) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: empty node name")
+	}
+	if _, ok := d.byName[name]; ok {
+		return nil, fmt.Errorf("core: duplicate node %q", name)
+	}
+	n := &Node{
+		ID:            len(d.nodes),
+		Name:          name,
+		Kind:          kind,
+		Component:     comp,
+		OpSignature:   opSig,
+		Deterministic: deterministic,
+	}
+	d.nodes = append(d.nodes, n)
+	d.byName[name] = n
+	return n, nil
+}
+
+// MustAddNode is AddNode but panics on error; for use in tests and
+// generated code where names are statically unique.
+func (d *DAG) MustAddNode(name string, kind Kind, comp Component, opSig string, deterministic bool) *Node {
+	n, err := d.AddNode(name, kind, comp, opSig, deterministic)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddEdge records that the output of from is an input to to. Duplicate
+// edges are ignored. It returns an error if either node is unknown or the
+// edge would close a cycle.
+func (d *DAG) AddEdge(from, to *Node) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("core: nil node in edge")
+	}
+	if d.byName[from.Name] != from || d.byName[to.Name] != to {
+		return fmt.Errorf("core: edge endpoints not in this DAG")
+	}
+	if from == to {
+		return fmt.Errorf("core: self-edge on %q", from.Name)
+	}
+	for _, c := range from.children {
+		if c == to {
+			return nil // already present
+		}
+	}
+	if d.reaches(to, from) {
+		return fmt.Errorf("core: edge %q→%q would create a cycle", from.Name, to.Name)
+	}
+	from.children = append(from.children, to)
+	to.parents = append(to.parents, from)
+	return nil
+}
+
+// reaches reports whether dst is reachable from src following child edges.
+func (d *DAG) reaches(src, dst *Node) bool {
+	if src == dst {
+		return true
+	}
+	seen := make(map[*Node]bool)
+	stack := []*Node{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == dst {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.children...)
+	}
+	return false
+}
+
+// MarkOutput declares a node as workflow output (HML is_output). Outputs
+// anchor the program slice used for pruning.
+func (d *DAG) MarkOutput(n *Node) {
+	for _, o := range d.outputs {
+		if o == n {
+			return
+		}
+	}
+	d.outputs = append(d.outputs, n)
+}
+
+// Outputs returns the declared output nodes.
+func (d *DAG) Outputs() []*Node { return d.outputs }
+
+// Nodes returns all nodes in insertion order. The slice must not be
+// modified.
+func (d *DAG) Nodes() []*Node { return d.nodes }
+
+// Node returns the node with the given name, or nil.
+func (d *DAG) Node(name string) *Node { return d.byName[name] }
+
+// Len returns the number of nodes.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// TopoSort returns the nodes in a topological order (parents before
+// children). Ties are broken by insertion order, making the result
+// deterministic.
+func (d *DAG) TopoSort() []*Node {
+	indeg := make(map[*Node]int, len(d.nodes))
+	for _, n := range d.nodes {
+		indeg[n] = len(n.parents)
+	}
+	// Ready queue kept sorted by ID for determinism.
+	var ready []*Node
+	for _, n := range d.nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]*Node, 0, len(d.nodes))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, c := range n.children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				// Insert keeping ID order.
+				i := sort.Search(len(ready), func(i int) bool { return ready[i].ID > c.ID })
+				ready = append(ready, nil)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = c
+			}
+		}
+	}
+	return out
+}
+
+// Ancestors returns the set of all (transitive) ancestors of n.
+func Ancestors(n *Node) map[*Node]bool {
+	anc := make(map[*Node]bool)
+	var visit func(*Node)
+	visit = func(m *Node) {
+		for _, p := range m.parents {
+			if !anc[p] {
+				anc[p] = true
+				visit(p)
+			}
+		}
+	}
+	visit(n)
+	return anc
+}
+
+// Descendants returns the set of all (transitive) descendants of n.
+func Descendants(n *Node) map[*Node]bool {
+	desc := make(map[*Node]bool)
+	var visit func(*Node)
+	visit = func(m *Node) {
+		for _, c := range m.children {
+			if !desc[c] {
+				desc[c] = true
+				visit(c)
+			}
+		}
+	}
+	visit(n)
+	return desc
+}
+
+// Slice computes the backward program slice from the output nodes
+// (paper §5.4): the set of nodes that contribute to at least one output.
+// If no outputs are declared, every node is live (nothing can be pruned
+// safely). The result maps node → live.
+func (d *DAG) Slice() map[*Node]bool {
+	live := make(map[*Node]bool, len(d.nodes))
+	if len(d.outputs) == 0 {
+		for _, n := range d.nodes {
+			live[n] = true
+		}
+		return live
+	}
+	var visit func(*Node)
+	visit = func(n *Node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+	}
+	for _, o := range d.outputs {
+		visit(o)
+	}
+	return live
+}
+
+// ComputeSignatures computes chained equivalence signatures for every node
+// in topological order. A node's chain signature is
+// H(opSignature ‖ sorted parent chain signatures); per Definition 2 two
+// nodes are equivalent iff their operator declarations and all ancestors
+// match, which is exactly what the chained hash captures (up to hash
+// collisions).
+//
+// Nondeterministic nodes get stable signatures like any other: an
+// unchanged nondeterministic operator does not deprecate its descendants'
+// materializations (the paper's MNIST workflow reuses L/I outputs on PPR
+// iterations despite nondeterministic DPR, §6.5.2). What nondeterminism
+// forbids is reusing the node's own output — it never has an equivalent
+// materialization (Definition 3) — which the execution engine enforces by
+// never materializing or loading such nodes.
+func (d *DAG) ComputeSignatures() {
+	for _, n := range d.TopoSort() {
+		h := sha256.New()
+		h.Write([]byte(n.OpSignature))
+		h.Write([]byte{0})
+		sigs := make([]string, 0, len(n.parents))
+		for _, p := range n.parents {
+			sigs = append(sigs, p.chainSig)
+		}
+		sort.Strings(sigs)
+		for _, s := range sigs {
+			h.Write([]byte(s))
+			h.Write([]byte{0})
+		}
+		n.chainSig = hex.EncodeToString(h.Sum(nil))
+	}
+}
+
+// OriginalNodes compares this DAG against the previous iteration's DAG and
+// returns the set of nodes in d that are original (Definition 2: having no
+// equivalent node in prev). Both DAGs must have had ComputeSignatures
+// called. A nil prev marks every node original (iteration 0).
+func (d *DAG) OriginalNodes(prev *DAG) map[*Node]bool {
+	orig := make(map[*Node]bool, len(d.nodes))
+	if prev == nil {
+		for _, n := range d.nodes {
+			orig[n] = true
+		}
+		return orig
+	}
+	prevSigs := make(map[string]bool, len(prev.nodes))
+	for _, n := range prev.nodes {
+		prevSigs[n.chainSig] = true
+	}
+	for _, n := range d.nodes {
+		if !prevSigs[n.chainSig] {
+			orig[n] = true
+		}
+	}
+	return orig
+}
+
+// CarryMetrics copies measured metrics from equivalent nodes of a previous
+// iteration into this DAG (paper §5.2: statistics from past iterations are
+// accurate for equivalent nodes because the exact same operator ran
+// before). Nodes without an equivalent keep their zero metrics.
+func (d *DAG) CarryMetrics(prev *DAG) {
+	if prev == nil {
+		return
+	}
+	bySig := make(map[string]*Node, len(prev.nodes))
+	for _, n := range prev.nodes {
+		bySig[n.chainSig] = n
+	}
+	for _, n := range d.nodes {
+		if p, ok := bySig[n.chainSig]; ok && p.Metrics.Known {
+			n.Metrics = p.Metrics
+		}
+	}
+}
+
+// Validate checks structural invariants: unique names, acyclicity,
+// edge symmetry (parent/child lists agree). It returns the first violation
+// found.
+func (d *DAG) Validate() error {
+	seen := make(map[string]bool, len(d.nodes))
+	for _, n := range d.nodes {
+		if seen[n.Name] {
+			return fmt.Errorf("core: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		for _, c := range n.children {
+			if !hasNode(c.parents, n) {
+				return fmt.Errorf("core: edge %q→%q missing reverse link", n.Name, c.Name)
+			}
+		}
+		for _, p := range n.parents {
+			if !hasNode(p.children, n) {
+				return fmt.Errorf("core: edge %q→%q missing forward link", p.Name, n.Name)
+			}
+		}
+	}
+	if got := len(d.TopoSort()); got != len(d.nodes) {
+		return fmt.Errorf("core: cycle detected (topo sort visited %d of %d nodes)", got, len(d.nodes))
+	}
+	return nil
+}
+
+func hasNode(s []*Node, n *Node) bool {
+	for _, m := range s {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

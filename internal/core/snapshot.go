@@ -1,0 +1,47 @@
+package core
+
+// Snapshot is a serializable summary of an executed DAG: each node's
+// equivalence signature and measured metrics. It carries exactly the
+// state the next iteration's change tracking needs (OriginalNodes,
+// CarryMetrics consult only signature-indexed maps), so a session can
+// persist it and resume reuse across process restarts.
+type Snapshot struct {
+	Nodes []NodeSnapshot `json:"nodes"`
+}
+
+// NodeSnapshot is one node's persisted identity and statistics.
+type NodeSnapshot struct {
+	Name           string  `json:"name"`
+	ChainSignature string  `json:"chain_signature"`
+	Metrics        Metrics `json:"metrics"`
+}
+
+// Snapshot captures the DAG's current signatures and metrics.
+// ComputeSignatures must have run.
+func (d *DAG) Snapshot() Snapshot {
+	s := Snapshot{Nodes: make([]NodeSnapshot, 0, len(d.nodes))}
+	for _, n := range d.nodes {
+		s.Nodes = append(s.Nodes, NodeSnapshot{
+			Name:           n.Name,
+			ChainSignature: n.chainSig,
+			Metrics:        n.Metrics,
+		})
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a "ghost" DAG from a snapshot: nodes carry
+// their persisted signatures and metrics but no edges or functions. It is
+// sufficient as the prev argument to OriginalNodes and CarryMetrics.
+func FromSnapshot(s Snapshot) *DAG {
+	d := NewDAG()
+	for _, ns := range s.Nodes {
+		n, err := d.AddNode(ns.Name, KindSource, DPR, "", true)
+		if err != nil {
+			continue // duplicate names in a corrupt snapshot: keep first
+		}
+		n.chainSig = ns.ChainSignature
+		n.Metrics = ns.Metrics
+	}
+	return d
+}

@@ -1,0 +1,118 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Article is one document of a text corpus.
+type Article struct {
+	ID   string
+	Text string
+}
+
+// GenomicsConfig parameterizes the scientific-literature generator for the
+// genomics workflow (paper Example 1): articles mentioning genes and
+// diseases, plus a gene knowledge base to join against.
+type GenomicsConfig struct {
+	Articles int
+	// SentencesPerArticle controls document length.
+	SentencesPerArticle int
+	// Genes is the knowledge-base size.
+	Genes int
+	// Functions is the number of latent functional groups; genes in the
+	// same group co-occur with the same context words, so embeddings can
+	// recover the groups — the structure the workflow's clustering step
+	// is meant to discover.
+	Functions int
+	Seed      int64
+}
+
+// GeneKB is the gene knowledge base: names grouped by latent function.
+type GeneKB struct {
+	// Genes maps gene name → latent functional group.
+	Genes map[string]int
+	// Groups is the number of functional groups.
+	Groups int
+}
+
+// Names returns all gene names (unordered).
+func (kb *GeneKB) Names() []string {
+	out := make([]string, 0, len(kb.Genes))
+	for g := range kb.Genes {
+		out = append(out, g)
+	}
+	return out
+}
+
+// scientific filler vocabulary shared across groups.
+var fillerWords = []string{
+	"we", "observed", "that", "the", "expression", "of", "increased",
+	"significantly", "in", "samples", "analysis", "showed", "results",
+	"suggest", "pathway", "regulation", "during", "treatment", "study",
+	"patients", "levels", "compared", "with", "control", "group",
+}
+
+// context words distinctive to each functional group.
+var groupContexts = [][]string{
+	{"apoptosis", "cell", "death", "caspase", "mitochondrial"},
+	{"immune", "response", "cytokine", "inflammation", "antibody"},
+	{"metabolism", "glucose", "insulin", "lipid", "energy"},
+	{"transcription", "promoter", "binding", "chromatin", "histone"},
+	{"repair", "damage", "replication", "genome", "stability"},
+	{"signaling", "kinase", "receptor", "phosphorylation", "cascade"},
+}
+
+// GenerateGenomics produces a synthetic literature corpus and gene KB.
+// Each article focuses on one functional group: it mentions that group's
+// genes amid the group's characteristic context words, so that word2vec
+// embeddings of gene names cluster by group.
+func GenerateGenomics(cfg GenomicsConfig) ([]Article, *GeneKB) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	groups := cfg.Functions
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > len(groupContexts) {
+		groups = len(groupContexts)
+	}
+	kb := &GeneKB{Genes: make(map[string]int, cfg.Genes), Groups: groups}
+	geneNames := make([][]string, groups)
+	for i := 0; i < cfg.Genes; i++ {
+		g := i % groups
+		name := fmt.Sprintf("gene%03d", i)
+		kb.Genes[name] = g
+		geneNames[g] = append(geneNames[g], name)
+	}
+
+	sentences := cfg.SentencesPerArticle
+	if sentences < 1 {
+		sentences = 5
+	}
+	articles := make([]Article, cfg.Articles)
+	for a := range articles {
+		g := a % groups
+		var b strings.Builder
+		for s := 0; s < sentences; s++ {
+			n := 6 + rng.Intn(8)
+			for w := 0; w < n; w++ {
+				if w > 0 {
+					b.WriteByte(' ')
+				}
+				switch r := rng.Float64(); {
+				case r < 0.25 && len(geneNames[g]) > 0:
+					b.WriteString(geneNames[g][rng.Intn(len(geneNames[g]))])
+				case r < 0.55:
+					ctx := groupContexts[g]
+					b.WriteString(ctx[rng.Intn(len(ctx))])
+				default:
+					b.WriteString(fillerWords[rng.Intn(len(fillerWords))])
+				}
+			}
+			b.WriteString(". ")
+		}
+		articles[a] = Article{ID: fmt.Sprintf("pmid%05d", a), Text: b.String()}
+	}
+	return articles, kb
+}

@@ -1,0 +1,56 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one parsed CSV record: column name → raw string value. It is the
+// record type r of the paper's DPR formalism (§3.1) for structured inputs.
+type Row map[string]string
+
+// ParseCSV parses a CSV string with a header row into Rows using the given
+// column names; if columns is nil the header names are used. It implements
+// the paper's CSVScanner (Figure 3a line 4) for the simple quote-free CSV
+// the census workload uses.
+func ParseCSV(text string, columns []string) ([]Row, error) {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("data: empty CSV input")
+	}
+	header := strings.Split(lines[0], ",")
+	if columns == nil {
+		columns = header
+	}
+	if len(columns) != len(header) {
+		return nil, fmt.Errorf("data: %d column names for %d header fields", len(columns), len(header))
+	}
+	rows := make([]Row, 0, len(lines)-1)
+	for i, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(columns) {
+			return nil, fmt.Errorf("data: line %d has %d fields, want %d", i+2, len(fields), len(columns))
+		}
+		r := make(Row, len(columns))
+		for j, c := range columns {
+			r[c] = fields[j]
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// RowsApproxBytes estimates the in-memory footprint of parsed rows for
+// materialization decisions.
+func RowsApproxBytes(rows []Row) int64 {
+	var b int64 = 16
+	for _, r := range rows {
+		for k, v := range r {
+			b += int64(len(k)+len(v)) + 32
+		}
+	}
+	return b
+}

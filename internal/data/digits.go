@@ -1,0 +1,119 @@
+package data
+
+import (
+	"math/rand"
+)
+
+// Image is one grayscale digit image (flattened row-major pixels in
+// [0,1]) with its class label — the MNIST record type (paper §6.2).
+type Image struct {
+	Pixels []float64
+	Label  int
+	Train  bool
+}
+
+// DigitsConfig parameterizes the synthetic digit generator.
+type DigitsConfig struct {
+	TrainImages, TestImages int
+	// Side is the image side length; 0 selects 16 (256 pixels).
+	Side int
+	// Noise is the per-pixel Gaussian noise sigma; 0 selects 0.15.
+	Noise float64
+	Seed  int64
+}
+
+// digitSegments encodes each digit 0-9 as lit segments of a 7-segment
+// display: top, top-left, top-right, middle, bottom-left, bottom-right,
+// bottom. Rendering these at Side×Side yields images that are linearly
+// separable yet non-trivial under noise.
+var digitSegments = [10][7]bool{
+	{true, true, true, false, true, true, true},     // 0
+	{false, false, true, false, false, true, false}, // 1
+	{true, false, true, true, true, false, true},    // 2
+	{true, false, true, true, false, true, true},    // 3
+	{false, true, true, true, false, true, false},   // 4
+	{true, true, false, true, false, true, true},    // 5
+	{true, true, false, true, true, true, true},     // 6
+	{true, false, true, false, false, true, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// GenerateDigits produces train and test images of noisy seven-segment
+// digits, with small random translations so classes overlap realistically.
+func GenerateDigits(cfg DigitsConfig) []Image {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	side := cfg.Side
+	if side <= 0 {
+		side = 16
+	}
+	noise := cfg.Noise
+	if noise <= 0 {
+		noise = 0.15
+	}
+	total := cfg.TrainImages + cfg.TestImages
+	images := make([]Image, total)
+	for i := range images {
+		label := i % 10
+		img := renderDigit(label, side, rng, noise)
+		img.Train = i < cfg.TrainImages
+		images[i] = img
+	}
+	return images
+}
+
+func renderDigit(label, side int, rng *rand.Rand, noise float64) Image {
+	px := make([]float64, side*side)
+	set := func(r, c int, v float64) {
+		if r >= 0 && r < side && c >= 0 && c < side {
+			px[r*side+c] += v
+		}
+	}
+	// Jittered bounding box for the glyph.
+	dr, dc := rng.Intn(3)-1, rng.Intn(3)-1
+	top, bottom := 2+dr, side-3+dr
+	left, right := 3+dc, side-4+dc
+	mid := (top + bottom) / 2
+	seg := digitSegments[label]
+	drawH := func(row int) {
+		for c := left; c <= right; c++ {
+			set(row, c, 1)
+		}
+	}
+	drawV := func(col, r0, r1 int) {
+		for r := r0; r <= r1; r++ {
+			set(r, col, 1)
+		}
+	}
+	if seg[0] {
+		drawH(top)
+	}
+	if seg[1] {
+		drawV(left, top, mid)
+	}
+	if seg[2] {
+		drawV(right, top, mid)
+	}
+	if seg[3] {
+		drawH(mid)
+	}
+	if seg[4] {
+		drawV(left, mid, bottom)
+	}
+	if seg[5] {
+		drawV(right, mid, bottom)
+	}
+	if seg[6] {
+		drawH(bottom)
+	}
+	for i := range px {
+		px[i] += rng.NormFloat64() * noise
+		if px[i] < 0 {
+			px[i] = 0
+		}
+		if px[i] > 1 {
+			px[i] = 1
+		}
+	}
+	return Image{Pixels: px, Label: label}
+}

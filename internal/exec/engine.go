@@ -1,0 +1,552 @@
+// Package exec implements HELIX-Go's execution engine (paper §2.1, §5.3).
+// It carries out the physical plan produced by the DAG optimizer — loading
+// materialized results, computing operators in parallel on goroutines
+// (standing in for Spark's fair scheduling), pruning skipped nodes — while
+// consulting the materialization policy whenever an intermediate result
+// goes out of scope (Definition 5), and evicting out-of-scope results from
+// the in-memory cache eagerly (§5.4, cache pruning).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helix/internal/core"
+	"helix/internal/opt"
+	"helix/internal/store"
+)
+
+// OpFunc computes one operator's output from its inputs, which arrive in
+// the same order as the node's parents.
+type OpFunc func(ctx context.Context, inputs []any) (any, error)
+
+// Program is a compiled workflow: a DAG plus the executable function for
+// each node. Produced by the DSL compiler.
+type Program struct {
+	DAG *core.DAG
+	Fns map[*core.Node]OpFunc
+}
+
+// Sizer lets values report their approximate serialized size cheaply, so
+// the engine can evaluate Algorithm 2's condition without paying the
+// serialization cost for results it will not materialize.
+type Sizer interface {
+	ApproxBytes() int64
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Policy decides which out-of-scope intermediates to materialize.
+	Policy opt.MatPolicy
+	// DisableReuse makes the engine ignore existing materializations when
+	// planning (used to model KeystoneML and DeepDive, which do not
+	// perform automatic cross-iteration reuse).
+	DisableReuse bool
+	// MaterializeOutputs forces output nodes to disk regardless of Policy
+	// (the paper's "mandatory output" drums in Figure 3). Disabled for the
+	// never-materialize baseline.
+	MaterializeOutputs bool
+	// DPRSlowdown multiplies the cost of DPR operators by sleeping
+	// (factor-1)·elapsed after each DPR compute. Models DeepDive's
+	// Python/shell preprocessing being ~2× slower than Spark (paper
+	// §6.5.2). 0 or 1 means no slowdown.
+	DPRSlowdown float64
+	// LISlowdown does the same for L/I operators. Models KeystoneML's
+	// "longer L/I time incurred by its caching optimizer's failing to
+	// cache the training data for learning" (paper §6.5.2).
+	LISlowdown float64
+	// SampleMemory enables the memory sampler (Figure 10).
+	SampleMemory bool
+	// DisablePruning turns off program slicing (ablation).
+	DisablePruning bool
+}
+
+// NodeReport is the per-node outcome of a run.
+type NodeReport struct {
+	State     core.State
+	Component core.Component
+	Seconds   float64 // own time t(n): compute or load duration
+	MatSecs   float64 // materialization (serialize+write) time, if any
+	Bytes     int64   // serialized size, if known
+}
+
+// Result summarizes one iteration's execution.
+type Result struct {
+	Iteration int
+	// Values holds the value of every output node, keyed by node name.
+	Values map[string]any
+	// Nodes reports per-node state and timing, keyed by node name.
+	Nodes map[string]NodeReport
+	// Wall is the end-to-end wall-clock duration of the run.
+	Wall time.Duration
+	// Breakdown sums node times by workflow component (Figure 6).
+	Breakdown map[core.Component]time.Duration
+	// MatTime is the total time spent materializing results (Figure 6, gray).
+	MatTime time.Duration
+	// StorageBytes is the store usage after the run (Figure 9c,d).
+	StorageBytes int64
+	// PeakMemBytes / AvgMemBytes are heap statistics (Figure 10); zero
+	// unless Options.SampleMemory.
+	PeakMemBytes, AvgMemBytes uint64
+	// StateCounts counts nodes per state among live nodes (Figure 8).
+	StateCounts map[core.State]int
+}
+
+// Engine executes compiled workflows against a materialization store.
+type Engine struct {
+	Store *store.Store
+	Opts  Options
+}
+
+// New returns an engine with the paper's default configuration: streaming
+// OMP with the given storage budget and mandatory output materialization.
+func New(st *store.Store, budget int64) *Engine {
+	return &Engine{
+		Store: st,
+		Opts: Options{
+			Policy:             opt.NewStreamingOMP(budget),
+			MaterializeOutputs: true,
+		},
+	}
+}
+
+// nodeRun is the mutable per-node execution record.
+type nodeRun struct {
+	node    *core.Node
+	fn      OpFunc
+	state   core.State
+	done    chan struct{}
+	value   any
+	err     error
+	ownSecs float64
+	matSecs float64
+	bytes   int64
+	// pending counts children in Compute state that still need this node's
+	// value; when it reaches zero the node is out of scope (Definition 5).
+	pending int32
+	retired int32
+}
+
+// Run executes one iteration of the program. prev is the previous
+// iteration's DAG (nil at iteration 0) used for change tracking; iteration
+// seeds the nondeterminism nonce. On success the program's DAG carries
+// updated metrics and should be retained as prev for the next iteration.
+func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iteration int) (*Result, error) {
+	start := time.Now()
+	d := prog.DAG
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: invalid workflow: %w", err)
+	}
+
+	// 1. Change tracking (paper §4.2).
+	d.ComputeSignatures()
+	d.CarryMetrics(prev)
+	originals := d.OriginalNodes(prev)
+
+	// 2. Program slicing (paper §5.4).
+	live := d.Slice()
+	if e.Opts.DisablePruning {
+		for _, n := range d.Nodes() {
+			live[n] = true
+		}
+	}
+
+	// 3. Purge deprecated materializations: an original node's old results
+	// can never be reused (paper §6.6).
+	if !e.Opts.DisableReuse {
+		current := make(map[string]bool, d.Len())
+		for _, n := range d.Nodes() {
+			current[n.ChainSignature()] = true
+		}
+		deprecatedNames := make(map[string]bool)
+		for n := range originals {
+			deprecatedNames[n.Name] = true
+		}
+		freed, err := e.Store.Purge(func(key string) bool {
+			if current[key] {
+				return true
+			}
+			ent, ok := e.Store.Entry(key)
+			return ok && !deprecatedNames[ent.Name]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exec: purge: %w", err)
+		}
+		// Return the freed bytes to budget-tracking policies so storage
+		// reclaimed from deprecated results can be spent again.
+		if rel, ok := e.Opts.Policy.(interface{ Release(int64) }); ok && freed > 0 {
+			rel.Release(freed)
+		}
+	}
+
+	// 4. Cost model + OEP (paper §5.2, Algorithm 1).
+	costs := make(map[*core.Node]opt.Costs, d.Len())
+	for _, n := range d.Nodes() {
+		if !live[n] {
+			continue
+		}
+		c := opt.Costs{
+			Compute:     n.Metrics.Compute.Seconds(),
+			Load:        math.Inf(1),
+			MustCompute: originals[n],
+		}
+		// Nondeterministic nodes never have an equivalent materialization
+		// (Definition 3): a stored result is one random draw and must not
+		// stand in for a fresh computation.
+		if !e.Opts.DisableReuse && n.Deterministic {
+			if ent, ok := e.Store.Entry(n.ChainSignature()); ok {
+				c.Load = e.Store.EstimateLoad(ent.Size).Seconds()
+			}
+		}
+		costs[n] = c
+	}
+	for _, o := range d.Outputs() {
+		if c, ok := costs[o]; ok {
+			c.Required = true
+			costs[o] = c
+		}
+	}
+	plan := opt.OptimalStates(d, costs)
+
+	// 5. Execute.
+	runs := make(map[*core.Node]*nodeRun, d.Len())
+	for _, n := range d.Nodes() {
+		runs[n] = &nodeRun{
+			node:  n,
+			fn:    prog.Fns[n],
+			state: plan.States[n],
+			done:  make(chan struct{}),
+		}
+	}
+	for _, n := range d.Nodes() {
+		var pending int32
+		for _, ch := range n.Children() {
+			if plan.States[ch] == core.StateCompute {
+				pending++
+			}
+		}
+		runs[n].pending = pending
+	}
+
+	var sampler *memSampler
+	if e.Opts.SampleMemory {
+		sampler = startMemSampler(5 * time.Millisecond)
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &runState{
+		engine:    e,
+		runs:      runs,
+		outputs:   make(map[*core.Node]bool, len(d.Outputs())),
+		iteration: iteration,
+		cancel:    cancel,
+	}
+	for _, o := range d.Outputs() {
+		st.outputs[o] = true
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range d.TopoSort() {
+		r := runs[n]
+		if r.state == core.StatePrune {
+			close(r.done)
+			continue
+		}
+		wg.Add(1)
+		go func(r *nodeRun) {
+			defer wg.Done()
+			st.execNode(rctx, r)
+		}(r)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, n := range d.Nodes() {
+		if r := runs[n]; r.err != nil {
+			firstErr = fmt.Errorf("exec: node %q: %w", r.node.Name, r.err)
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// 6. Assemble the result.
+	res := &Result{
+		Iteration:   iteration,
+		Values:      make(map[string]any, len(d.Outputs())),
+		Nodes:       make(map[string]NodeReport, d.Len()),
+		Breakdown:   make(map[core.Component]time.Duration, 3),
+		StateCounts: make(map[core.State]int, 3),
+	}
+	for _, n := range d.Nodes() {
+		r := runs[n]
+		res.Nodes[n.Name] = NodeReport{
+			State:     r.state,
+			Component: n.Component,
+			Seconds:   r.ownSecs,
+			MatSecs:   r.matSecs,
+			Bytes:     r.bytes,
+		}
+		if live[n] {
+			res.StateCounts[r.state]++
+		}
+		res.Breakdown[n.Component] += time.Duration(r.ownSecs * float64(time.Second))
+		res.MatTime += time.Duration(r.matSecs * float64(time.Second))
+	}
+	for _, o := range d.Outputs() {
+		res.Values[o.Name] = runs[o].value
+	}
+	if sampler != nil {
+		res.PeakMemBytes, res.AvgMemBytes = sampler.stop()
+	}
+	res.StorageBytes = e.Store.UsedBytes()
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// runState holds shared execution state.
+type runState struct {
+	engine    *Engine
+	runs      map[*core.Node]*nodeRun
+	outputs   map[*core.Node]bool
+	iteration int
+	cancel    context.CancelFunc
+
+	// fallbackMu guards recursive recomputation after load failures.
+	fallbackMu sync.Mutex
+}
+
+// execNode runs a single node to completion: waits for computed parents,
+// loads or computes, records timing, then retires out-of-scope nodes.
+func (s *runState) execNode(ctx context.Context, r *nodeRun) {
+	defer close(r.done)
+	n := r.node
+
+	switch r.state {
+	case core.StateLoad:
+		value, dur, err := s.engine.Store.Get(n.ChainSignature())
+		if err != nil {
+			// Failure injection path: a corrupt or missing materialization
+			// must not abort the iteration — recompute instead (possibly
+			// recomputing pruned ancestors on demand).
+			value, err = s.recompute(ctx, n)
+			if err != nil {
+				r.err = err
+				s.cancel()
+				return
+			}
+			r.value = value
+			r.ownSecs = n.Metrics.Compute.Seconds()
+		} else {
+			r.value = value
+			r.ownSecs = dur.Seconds()
+			n.Metrics.Load = dur
+			n.Metrics.Known = true
+		}
+	case core.StateCompute:
+		inputs := make([]any, len(n.Parents()))
+		for i, p := range n.Parents() {
+			pr := s.runs[p]
+			select {
+			case <-pr.done:
+			case <-ctx.Done():
+				r.err = ctx.Err()
+				return
+			}
+			if pr.err != nil {
+				r.err = fmt.Errorf("input %q failed", p.Name)
+				return
+			}
+			inputs[i] = pr.value
+		}
+		if r.fn == nil {
+			r.err = fmt.Errorf("no function for node")
+			s.cancel()
+			return
+		}
+		start := time.Now()
+		value, err := r.fn(ctx, inputs)
+		if err != nil {
+			r.err = err
+			s.cancel()
+			return
+		}
+		elapsed := time.Since(start)
+		if f := s.engine.Opts.DPRSlowdown; f > 1 && n.Component == core.DPR {
+			extra := time.Duration(float64(elapsed) * (f - 1))
+			time.Sleep(extra)
+			elapsed += extra
+		}
+		if f := s.engine.Opts.LISlowdown; f > 1 && n.Component == core.LI {
+			extra := time.Duration(float64(elapsed) * (f - 1))
+			time.Sleep(extra)
+			elapsed += extra
+		}
+		r.value = value
+		r.ownSecs = elapsed.Seconds()
+		n.Metrics.Compute = elapsed
+		n.Metrics.Known = true
+	}
+
+	// Retirement cascade: this node's completion may put parents (and
+	// itself, if it has no computing children) out of scope.
+	if r.state == core.StateCompute {
+		for _, p := range n.Parents() {
+			pr := s.runs[p]
+			if atomic.AddInt32(&pr.pending, -1) == 0 {
+				s.retire(pr)
+			}
+		}
+	}
+	if atomic.LoadInt32(&r.pending) == 0 {
+		s.retire(r)
+	}
+}
+
+// retire handles an out-of-scope node (Definition 5, Constraint 3): decide
+// materialization via the policy (Algorithm 2), then release the in-memory
+// reference (eager cache pruning, §5.4).
+func (s *runState) retire(r *nodeRun) {
+	if !atomic.CompareAndSwapInt32(&r.retired, 0, 1) {
+		return
+	}
+	n := r.node
+	if r.state != core.StateCompute || r.err != nil {
+		// Loaded results are already on disk: just release the cache
+		// reference. Pruned nodes have no value.
+		if r.state == core.StateLoad && !s.outputs[n] {
+			r.value = nil
+		}
+		return
+	}
+	e := s.engine
+	if !n.Deterministic && (e.Opts.Policy == nil || !e.Opts.Policy.Blind()) {
+		// A nondeterministic result is a single random draw: it can never
+		// serve as an equivalent materialization (Definition 3), so writing
+		// it only wastes storage and time. Cost-aware policies skip it;
+		// blind ones (HELIX AM, DeepDive) pay for it — the paper's reason
+		// AM fails to finish MNIST (§6.6). Evict unless it is an output.
+		if !s.outputs[n] {
+			r.value = nil
+		}
+		return
+	}
+	key := n.ChainSignature()
+	if e.Store.Has(key) {
+		return // equivalent result already materialized
+	}
+
+	mandatory := e.Opts.MaterializeOutputs && s.outputs[n]
+	var decided, encoded bool
+	var data []byte
+	size := int64(-1)
+	if sz, ok := r.value.(Sizer); ok {
+		size = sz.ApproxBytes()
+	}
+	if !mandatory {
+		// Cumulative run time C(n) per Definition 6. Only n and its
+		// ancestors are read: they are all complete by now (n waited on
+		// its parents, transitively), so the reads are ordered after the
+		// writes via the done-channel chain. Other nodes may still be
+		// executing and must not be touched.
+		cum := r.ownSecs
+		for anc := range core.Ancestors(n) {
+			if ar := s.runs[anc]; ar != nil {
+				cum += ar.ownSecs
+			}
+		}
+		if size < 0 {
+			// No cheap size available: serialize to learn it. The encode
+			// time is charged as materialization overhead.
+			encStart := time.Now()
+			var err error
+			data, err = store.Encode(r.value)
+			if err != nil {
+				return // unserializable values are simply not materialized
+			}
+			r.matSecs += time.Since(encStart).Seconds()
+			encoded = true
+			size = int64(len(data))
+		}
+		load := e.Store.EstimateLoad(size).Seconds()
+		decided = e.Opts.Policy != nil && e.Opts.Policy.Decide(n, cum, load, size)
+	}
+	if !mandatory && !decided {
+		if !s.outputs[n] {
+			r.value = nil // evict; outputs keep their value for Result
+		}
+		return
+	}
+
+	matStart := time.Now()
+	if !encoded {
+		var err error
+		data, err = store.Encode(r.value)
+		if err != nil {
+			return
+		}
+	}
+	ent, err := e.Store.PutBytes(key, n.Name, data, s.iteration)
+	r.matSecs += time.Since(matStart).Seconds()
+	if err != nil {
+		return // a failed write degrades to no materialization
+	}
+	r.bytes = ent.Size
+	n.Metrics.Size = ent.Size
+	n.Metrics.Load = e.Store.EstimateLoad(ent.Size)
+	if !s.outputs[n] {
+		r.value = nil
+	}
+}
+
+// recompute computes a node's value on demand, recursively ensuring parent
+// values (which may have been pruned or evicted). Used only on the load-
+// failure fallback path, so simplicity beats parallelism here.
+func (s *runState) recompute(ctx context.Context, n *core.Node) (any, error) {
+	s.fallbackMu.Lock()
+	defer s.fallbackMu.Unlock()
+	return s.recomputeLocked(ctx, n, make(map[*core.Node]any))
+}
+
+func (s *runState) recomputeLocked(ctx context.Context, n *core.Node, memo map[*core.Node]any) (any, error) {
+	if v, ok := memo[n]; ok {
+		return v, nil
+	}
+	if r := s.runs[n]; r != nil {
+		select {
+		case <-r.done:
+			if r.err == nil && r.value != nil {
+				memo[n] = r.value
+				return r.value, nil
+			}
+		default:
+		}
+	}
+	fn := s.runs[n].fn
+	if fn == nil {
+		return nil, fmt.Errorf("exec: cannot recompute %q: no function", n.Name)
+	}
+	inputs := make([]any, len(n.Parents()))
+	for i, p := range n.Parents() {
+		v, err := s.recomputeLocked(ctx, p, memo)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = v
+	}
+	v, err := fn(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	memo[n] = v
+	return v, nil
+}

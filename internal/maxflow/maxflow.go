@@ -1,0 +1,143 @@
+// Package maxflow implements maximum-flow / minimum-cut computation on
+// directed graphs using the Edmonds–Karp algorithm (BFS-based
+// Ford–Fulkerson), as used by the HELIX OPT-EXEC-PLAN solver.
+//
+// The paper (§5.2) reduces the optimal-execution-plan problem to the
+// PROJECT SELECTION PROBLEM, which in turn reduces to MAX-FLOW; the
+// Edmonds–Karp algorithm gives the O(V·E²) bound cited in the paper.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity used for "infinite" edges (prerequisite edges in the
+// project-selection reduction). Using a finite sentinel keeps arithmetic
+// exact while being larger than any sum of finite capacities in practice.
+const Inf = math.MaxFloat64 / 4
+
+// edge is a directed edge in the residual graph. Edges are stored in pairs:
+// edge i and edge i^1 are reverses of each other.
+type edge struct {
+	to  int
+	cap float64
+}
+
+// Graph is a flow network over nodes 0..N-1. The zero value is not usable;
+// construct with New.
+type Graph struct {
+	n     int
+	edges []edge // paired: i and i^1 are mutual reverses
+	adj   [][]int
+}
+
+// New returns an empty flow network with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("maxflow: negative node count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// NumNodes reports the number of nodes in the network.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and returns its
+// edge index (usable with Flow after a MaxFlow call). Capacities must be
+// non-negative. Adding an edge also adds a residual reverse edge with zero
+// capacity.
+func (g *Graph) AddEdge(u, v int, capacity float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %v on edge (%d,%d)", capacity, u, v))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity})
+	g.edges = append(g.edges, edge{to: u, cap: 0})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id+1)
+	return id
+}
+
+// MaxFlow computes the maximum flow from s to t using Edmonds–Karp and
+// returns its value. The graph's residual capacities are updated in place;
+// call Flow or MinCut afterwards to inspect the result. Calling MaxFlow a
+// second time on the same graph continues from the current residual state
+// (and therefore returns 0 additional flow for the same s,t).
+func (g *Graph) MaxFlow(s, t int) float64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("maxflow: source/sink (%d,%d) out of range [0,%d)", s, t, g.n))
+	}
+	if s == t {
+		return 0
+	}
+	var total float64
+	parent := make([]int, g.n) // edge id used to reach node, -1 if unreached
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		// BFS for the shortest augmenting path.
+		queue := []int{s}
+		parent[s] = -2
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range g.adj[u] {
+				e := g.edges[id]
+				if e.cap > 0 && parent[e.to] == -1 {
+					parent[e.to] = id
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		// Find the bottleneck along the path.
+		bottleneck := math.Inf(1)
+		for v := t; v != s; {
+			id := parent[v]
+			if g.edges[id].cap < bottleneck {
+				bottleneck = g.edges[id].cap
+			}
+			v = g.edges[id^1].to
+		}
+		// Augment.
+		for v := t; v != s; {
+			id := parent[v]
+			g.edges[id].cap -= bottleneck
+			g.edges[id^1].cap += bottleneck
+			v = g.edges[id^1].to
+		}
+		total += bottleneck
+	}
+}
+
+// MinCut returns the set of nodes on the source side of a minimum s-t cut.
+// It must be called after MaxFlow; it walks the residual graph from s.
+// The returned slice is indexed by node: sourceSide[v] is true iff v is
+// reachable from s in the residual graph.
+func (g *Graph) MinCut(s int) []bool {
+	if s < 0 || s >= g.n {
+		panic(fmt.Sprintf("maxflow: source %d out of range [0,%d)", s, g.n))
+	}
+	seen := make([]bool, g.n)
+	queue := []int{s}
+	seen[s] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adj[u] {
+			e := g.edges[id]
+			if e.cap > 0 && !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,249 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 5)
+	if got := g.MaxFlow(0, 1); got != 5 {
+		t.Fatalf("MaxFlow = %v, want 5", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 1, 4)
+	if got := g.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("MaxFlow = %v, want 7", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("MaxFlow = %v, want 0", got)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(1)
+	if got := g.MaxFlow(0, 0); got != 0 {
+		t.Fatalf("MaxFlow(s,s) = %v, want 0", got)
+	}
+}
+
+// TestClassicNetwork exercises the standard CLRS example network.
+func TestClassicNetwork(t *testing.T) {
+	// Nodes: s=0, v1=1, v2=2, v3=3, v4=4, t=5. Max flow = 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("MaxFlow = %v, want 23", got)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	// s -> a -> b -> t with capacities 10, 1, 10: flow limited to 1.
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 1 {
+		t.Fatalf("MaxFlow = %v, want 1", got)
+	}
+}
+
+func TestMinCutSeparatesSourceAndSink(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 1)
+	g.MaxFlow(0, 3)
+	cut := g.MinCut(0)
+	if !cut[0] {
+		t.Fatal("source not on source side of cut")
+	}
+	if cut[3] {
+		t.Fatal("sink on source side of cut")
+	}
+}
+
+func TestInfEdgeNeverCut(t *testing.T) {
+	// s --5--> a --Inf--> b --3--> t. The Inf edge must not be in the cut.
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, Inf)
+	g.AddEdge(2, 3, 3)
+	if got := g.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("MaxFlow = %v, want 3", got)
+	}
+	cut := g.MinCut(0)
+	// The Inf edge (1→2) must not cross the cut: if 1 is on the source
+	// side then 2 must be as well.
+	if cut[1] && !cut[2] {
+		t.Fatal("infinite-capacity edge crosses the min cut")
+	}
+}
+
+func TestAddEdgePanicsOnNegativeCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative capacity")
+		}
+	}()
+	g := New(2)
+	g.AddEdge(0, 1, -1)
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	g := New(2)
+	g.AddEdge(0, 5, 1)
+}
+
+// randomNetwork builds a random DAG-ish flow network with integer
+// capacities, returning the graph plus an adjacency-capacity matrix for the
+// brute-force checker.
+func randomNetwork(rng *rand.Rand, n int) (*Graph, [][]float64) {
+	g := New(n)
+	capMat := make([][]float64, n)
+	for i := range capMat {
+		capMat[i] = make([]float64, n)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if rng.Float64() < 0.4 {
+				c := float64(rng.Intn(10))
+				g.AddEdge(u, v, c)
+				capMat[u][v] += c
+			}
+		}
+	}
+	return g, capMat
+}
+
+// bruteMaxFlow computes max flow via repeated DFS augmentation on a
+// capacity matrix — an independent (slower) implementation used as a
+// property-test oracle.
+func bruteMaxFlow(capMat [][]float64, s, t int) float64 {
+	n := len(capMat)
+	residual := make([][]float64, n)
+	for i := range residual {
+		residual[i] = append([]float64(nil), capMat[i]...)
+	}
+	var total float64
+	for {
+		// DFS for any augmenting path.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		stack := []int{s}
+		for len(stack) > 0 && parent[t] == -1 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < n; v++ {
+				if residual[u][v] > 0 && parent[v] == -1 {
+					parent[v] = u
+					stack = append(stack, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return total
+		}
+		bottleneck := math.Inf(1)
+		for v := t; v != s; v = parent[v] {
+			if residual[parent[v]][v] < bottleneck {
+				bottleneck = residual[parent[v]][v]
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			residual[parent[v]][v] -= bottleneck
+			residual[v][parent[v]] += bottleneck
+		}
+		total += bottleneck
+	}
+}
+
+// TestQuickAgainstBruteForce checks Edmonds–Karp against an independent
+// DFS-based implementation on random networks.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g, capMat := randomNetwork(rng, n)
+		s, tk := 0, n-1
+		got := g.MaxFlow(s, tk)
+		want := bruteMaxFlow(capMat, s, tk)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinCutValue checks that the capacity crossing the min cut equals
+// the max-flow value (max-flow/min-cut theorem).
+func TestQuickMinCutValue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g, capMat := randomNetwork(rng, n)
+		s, tk := 0, n-1
+		flow := g.MaxFlow(s, tk)
+		cut := g.MinCut(s)
+		if !cut[s] || cut[tk] {
+			return false
+		}
+		var crossing float64
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if cut[u] && !cut[v] {
+					crossing += capMat[u][v]
+				}
+			}
+		}
+		return math.Abs(crossing-flow) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedMaxFlowIsIdempotent(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	if got := g.MaxFlow(0, 2); got != 4 {
+		t.Fatalf("first MaxFlow = %v, want 4", got)
+	}
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("second MaxFlow = %v, want 0 (saturated residual)", got)
+	}
+}

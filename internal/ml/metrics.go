@@ -1,0 +1,190 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accuracy returns the fraction of examples whose predicted class equals
+// the label — the census workflow's checkResults reducer (paper Figure 3a,
+// lines 17-18).
+func Accuracy(m Model, d *Dataset) float64 {
+	if len(d.Examples) == 0 {
+		return 0
+	}
+	var correct int
+	for _, e := range d.Examples {
+		if !e.HasLabel() {
+			continue
+		}
+		if math.Round(m.Predict(e.X)) == e.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.Examples))
+}
+
+// BinaryAccuracy thresholds probabilities at 0.5 before comparing.
+func BinaryAccuracy(m Model, d *Dataset) float64 {
+	var n, correct int
+	for _, e := range d.Examples {
+		if !e.HasLabel() {
+			continue
+		}
+		n++
+		pred := 0.0
+		if m.Predict(e.X) >= 0.5 {
+			pred = 1
+		}
+		if pred == e.Y {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(correct) / float64(n)
+}
+
+// PRF1 holds precision, recall, and F1 for the positive class — the IE
+// workflow's evaluation metric.
+type PRF1 struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN            int
+}
+
+// BinaryPRF1 computes precision/recall/F1 of the positive class over the
+// labeled examples of d using threshold 0.5.
+func BinaryPRF1(m Model, d *Dataset) PRF1 {
+	var r PRF1
+	for _, e := range d.Examples {
+		if !e.HasLabel() {
+			continue
+		}
+		pred := m.Predict(e.X) >= 0.5
+		truth := e.Y >= 0.5
+		switch {
+		case pred && truth:
+			r.TP++
+		case pred && !truth:
+			r.FP++
+		case !pred && truth:
+			r.FN++
+		}
+	}
+	if r.TP+r.FP > 0 {
+		r.Precision = float64(r.TP) / float64(r.TP+r.FP)
+	}
+	if r.TP+r.FN > 0 {
+		r.Recall = float64(r.TP) / float64(r.TP+r.FN)
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}
+
+// ConfusionMatrix counts [truth][predicted] over the labeled examples.
+func ConfusionMatrix(m Model, d *Dataset, classes int) [][]int {
+	cm := make([][]int, classes)
+	for i := range cm {
+		cm[i] = make([]int, classes)
+	}
+	for _, e := range d.Examples {
+		if !e.HasLabel() {
+			continue
+		}
+		t := int(e.Y)
+		p := int(math.Round(m.Predict(e.X)))
+		if t >= 0 && t < classes && p >= 0 && p < classes {
+			cm[t][p]++
+		}
+	}
+	return cm
+}
+
+// FormatConfusion renders a confusion matrix for reducer output.
+func FormatConfusion(cm [][]int) string {
+	var b strings.Builder
+	for t, row := range cm {
+		fmt.Fprintf(&b, "true=%d:", t)
+		for _, c := range row {
+			fmt.Fprintf(&b, " %5d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogLoss returns the mean negative log-likelihood of binary predictions,
+// clipped away from 0 and 1 for stability.
+func LogLoss(m Model, d *Dataset) float64 {
+	const eps = 1e-12
+	var n int
+	var sum float64
+	for _, e := range d.Examples {
+		if !e.HasLabel() {
+			continue
+		}
+		n++
+		p := m.Predict(e.X)
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		if e.Y >= 0.5 {
+			sum -= math.Log(p)
+		} else {
+			sum -= math.Log(1 - p)
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ClusterSummary describes a clustering for qualitative PPR evaluation
+// (the genomics workflow's "more qualitative and exploratory evaluations",
+// paper §6.2).
+type ClusterSummary struct {
+	K       int
+	Sizes   []int
+	Inertia float64
+	// TopMembers lists up to sample member IDs per cluster.
+	TopMembers [][]string
+}
+
+// SummarizeClusters assigns every example of d and aggregates sizes,
+// within-cluster squared distance, and sample member IDs.
+func SummarizeClusters(m *KMeansModel, d *Dataset, sample int) ClusterSummary {
+	k := len(m.Centroids)
+	s := ClusterSummary{K: k, Sizes: make([]int, k), TopMembers: make([][]string, k)}
+	for _, e := range d.Examples {
+		c, dist := m.Assign(e.X)
+		s.Sizes[c]++
+		s.Inertia += dist
+		if len(s.TopMembers[c]) < sample {
+			s.TopMembers[c] = append(s.TopMembers[c], e.ID)
+		}
+	}
+	for c := range s.TopMembers {
+		sort.Strings(s.TopMembers[c])
+	}
+	return s
+}
+
+// ApproxBytes implements the engine's Sizer.
+func (s ClusterSummary) ApproxBytes() int64 {
+	b := int64(16 + 8*len(s.Sizes))
+	for _, ms := range s.TopMembers {
+		for _, m := range ms {
+			b += int64(len(m)) + 16
+		}
+	}
+	return b
+}

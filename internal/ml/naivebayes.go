@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a multinomial naive Bayes classifier with Laplace
+// smoothing, operating on non-negative feature counts — a standard
+// baseline learner for sparse text features (paper §3.1 uses NB as its
+// running data-dependent-transformation example).
+type NaiveBayes struct {
+	// Alpha is the Laplace smoothing constant; 0 selects 1.
+	Alpha float64
+	// Classes is the number of classes; 0 infers from labels.
+	Classes int
+}
+
+// NBModel is a fitted multinomial naive Bayes model.
+type NBModel struct {
+	LogPrior []float64   // log P(y=k)
+	LogCond  [][]float64 // log P(feature i | y=k), [class][feature]
+}
+
+// Predict implements Model: it returns the argmax class.
+func (m *NBModel) Predict(x Vector) float64 {
+	best, bestLL := 0, math.Inf(-1)
+	for k := range m.LogPrior {
+		ll := m.LogPrior[k]
+		x.ForEach(func(i int, v float64) {
+			if v > 0 {
+				ll += v * m.LogCond[k][i]
+			}
+		})
+		if ll > bestLL {
+			best, bestLL = k, ll
+		}
+	}
+	return float64(best)
+}
+
+// ApproxBytes implements the engine's Sizer.
+func (m *NBModel) ApproxBytes() int64 {
+	var b int64 = int64(8 * len(m.LogPrior))
+	for _, row := range m.LogCond {
+		b += int64(8 * len(row))
+	}
+	return b
+}
+
+// Fit trains on the labeled training examples of d.
+func (nb NaiveBayes) Fit(d *Dataset) (*NBModel, error) {
+	alpha := nb.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	var train []Example
+	classes := nb.Classes
+	for _, e := range d.Examples {
+		if e.Train && e.HasLabel() {
+			train = append(train, e)
+			if int(e.Y)+1 > classes {
+				classes = int(e.Y) + 1
+			}
+		}
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("ml: naive bayes: no labeled training examples")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("ml: naive bayes: need ≥2 classes, got %d", classes)
+	}
+	dim := d.Dim
+	if dim == 0 {
+		dim = train[0].X.Dim()
+	}
+	counts := make([][]float64, classes)
+	totals := make([]float64, classes)
+	nPerClass := make([]float64, classes)
+	for k := range counts {
+		counts[k] = make([]float64, dim)
+	}
+	for _, e := range train {
+		k := int(e.Y)
+		if k < 0 || k >= classes {
+			return nil, fmt.Errorf("ml: naive bayes: label %v out of range [0,%d)", e.Y, classes)
+		}
+		nPerClass[k]++
+		e.X.ForEach(func(i int, v float64) {
+			if v < 0 {
+				v = 0 // multinomial NB requires non-negative counts
+			}
+			counts[k][i] += v
+			totals[k] += v
+		})
+	}
+	m := &NBModel{
+		LogPrior: make([]float64, classes),
+		LogCond:  make([][]float64, classes),
+	}
+	n := float64(len(train))
+	for k := 0; k < classes; k++ {
+		m.LogPrior[k] = math.Log((nPerClass[k] + alpha) / (n + alpha*float64(classes)))
+		m.LogCond[k] = make([]float64, dim)
+		denom := totals[k] + alpha*float64(dim)
+		for i := 0; i < dim; i++ {
+			m.LogCond[k][i] = math.Log((counts[k][i] + alpha) / denom)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PCA learns a linear dimensionality reduction — one of the
+// data-dependent feature transformations the paper lists alongside
+// scaling and discretization (§3.1.1: "Other examples of data-dependent
+// transformations include ... dimensionality reduction"). Components are
+// found by power iteration with deflation, which needs only
+// matrix-vector products and suits the library's no-dependency policy.
+type PCA struct {
+	// Components is the target dimensionality k.
+	Components int
+	// Iterations per component; 0 selects 100.
+	Iterations int
+	// Seed initializes the power iteration.
+	Seed int64
+}
+
+// PCAModel is a fitted projection: the data mean and k principal axes.
+type PCAModel struct {
+	Mean      DenseVector
+	Axes      []DenseVector // unit-norm principal directions
+	Explained []float64     // eigenvalues (variance along each axis)
+	InputDim  int
+	OutputDim int
+}
+
+// ApproxBytes implements the engine's Sizer.
+func (m *PCAModel) ApproxBytes() int64 {
+	b := int64(8 * len(m.Mean))
+	for _, a := range m.Axes {
+		b += int64(8 * len(a))
+	}
+	return b + int64(8*len(m.Explained)) + 32
+}
+
+// Fit estimates the top-k principal components of the examples of d.
+func (p PCA) Fit(d *Dataset) (*PCAModel, error) {
+	n := len(d.Examples)
+	if n == 0 {
+		return nil, fmt.Errorf("ml: pca: empty dataset")
+	}
+	dim := d.Dim
+	if dim == 0 {
+		dim = d.Examples[0].X.Dim()
+	}
+	k := p.Components
+	if k < 1 || k > dim {
+		return nil, fmt.Errorf("ml: pca: components %d out of range [1,%d]", k, dim)
+	}
+	iters := p.Iterations
+	if iters <= 0 {
+		iters = 100
+	}
+
+	// Mean.
+	mean := Zeros(dim)
+	for _, e := range d.Examples {
+		mean.AddScaled(1, e.X)
+	}
+	mean.Scale(1 / float64(n))
+
+	// Centered data rows (dense; PCA inputs are typically dense images).
+	rows := make([]DenseVector, n)
+	for i, e := range d.Examples {
+		r := toDense(e.X, dim).Clone()
+		r.AddScaled(-1, mean)
+		rows[i] = r
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	model := &PCAModel{Mean: mean, InputDim: dim, OutputDim: k}
+	for c := 0; c < k; c++ {
+		v := make(DenseVector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		normalize(v)
+		var lambda float64
+		for it := 0; it < iters; it++ {
+			// w = Cov·v computed as Σ rows_i (rows_i·v) / n.
+			w := Zeros(dim)
+			for _, r := range rows {
+				w.AddScaled(r.Dot(v), r)
+			}
+			w.Scale(1 / float64(n))
+			lambda = w.Norm2()
+			if lambda == 0 {
+				break
+			}
+			w.Scale(1 / lambda)
+			// Convergence check.
+			if math.Abs(w.Dot(v)) > 1-1e-10 {
+				v = w
+				break
+			}
+			v = w
+		}
+		model.Axes = append(model.Axes, v)
+		model.Explained = append(model.Explained, lambda)
+		// Deflate: remove the found component from every row.
+		for _, r := range rows {
+			r.AddScaled(-r.Dot(v), v)
+		}
+	}
+	return model, nil
+}
+
+func normalize(v DenseVector) {
+	if n := v.Norm2(); n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// Project maps one vector into the principal subspace.
+func (m *PCAModel) Project(x Vector) DenseVector {
+	centered := toDense(x, m.InputDim).Clone()
+	centered.AddScaled(-1, m.Mean)
+	out := make(DenseVector, len(m.Axes))
+	for i, a := range m.Axes {
+		out[i] = centered.Dot(a)
+	}
+	return out
+}
+
+// ProjectDataset maps every example, preserving labels and splits.
+func (m *PCAModel) ProjectDataset(d *Dataset) *Dataset {
+	out := &Dataset{Dim: len(m.Axes), Examples: make([]Example, len(d.Examples))}
+	for i, e := range d.Examples {
+		out.Examples[i] = Example{X: m.Project(e.X), Y: e.Y, Train: e.Train, ID: e.ID}
+	}
+	return out
+}

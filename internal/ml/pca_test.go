@@ -1,0 +1,123 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// anisotropic generates data stretched along a known direction.
+func anisotropic(n int, seed int64) (*Dataset, DenseVector) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := Dense(3, 4, 0) // main axis, unnormalized
+	normalize(dir)
+	d := &Dataset{Dim: 3}
+	for i := 0; i < n; i++ {
+		t := rng.NormFloat64() * 10 // large variance along dir
+		noise := Dense(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		x := Dense(5, -2, 1) // mean offset
+		x.AddScaled(t, dir)
+		x.AddScaled(0.5, noise)
+		d.Examples = append(d.Examples, Example{X: x, Y: t})
+	}
+	return d, dir
+}
+
+func TestPCARecoversPrincipalAxis(t *testing.T) {
+	d, dir := anisotropic(500, 1)
+	m, err := PCA{Components: 1, Seed: 1}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first axis must align with the generating direction (sign-free).
+	cos := math.Abs(m.Axes[0].Dot(dir))
+	if cos < 0.99 {
+		t.Fatalf("axis alignment |cos| = %.4f", cos)
+	}
+	if m.Explained[0] < 50 {
+		t.Fatalf("explained variance %.1f too small for sigma=10 axis", m.Explained[0])
+	}
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	d, _ := anisotropic(400, 2)
+	m, err := PCA{Components: 3, Seed: 2}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Explained); i++ {
+		if m.Explained[i] > m.Explained[i-1]+1e-9 {
+			t.Fatalf("explained variance not decreasing: %v", m.Explained)
+		}
+	}
+}
+
+func TestPCAAxesOrthonormal(t *testing.T) {
+	d, _ := anisotropic(300, 3)
+	m, err := PCA{Components: 3, Seed: 3}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Axes {
+		if math.Abs(m.Axes[i].Norm2()-1) > 1e-6 {
+			t.Fatalf("axis %d not unit norm", i)
+		}
+		for j := i + 1; j < len(m.Axes); j++ {
+			if dot := math.Abs(m.Axes[i].Dot(m.Axes[j])); dot > 1e-6 {
+				t.Fatalf("axes %d,%d not orthogonal: %.2e", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestPCAProjectionPreservesSignal(t *testing.T) {
+	// Projecting onto the first component should preserve the latent t
+	// almost perfectly (correlation with labels).
+	d, _ := anisotropic(500, 4)
+	m, err := PCA{Components: 1, Seed: 4}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := m.ProjectDataset(d)
+	if proj.Dim != 1 {
+		t.Fatalf("projected dim = %d", proj.Dim)
+	}
+	var sxy, sxx, syy float64
+	for i, e := range proj.Examples {
+		x := e.X.At(0)
+		y := d.Examples[i].Y
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	corr := math.Abs(sxy) / math.Sqrt(sxx*syy)
+	if corr < 0.99 {
+		t.Fatalf("projection-label correlation %.4f", corr)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := (PCA{Components: 1}).Fit(&Dataset{}); err == nil {
+		t.Fatal("expected empty-dataset error")
+	}
+	d, _ := anisotropic(10, 5)
+	if _, err := (PCA{Components: 0}).Fit(d); err == nil {
+		t.Fatal("expected components error")
+	}
+	if _, err := (PCA{Components: 4}).Fit(d); err == nil {
+		t.Fatal("expected components > dim error")
+	}
+}
+
+func TestPCADeterministic(t *testing.T) {
+	d, _ := anisotropic(100, 6)
+	m1, _ := PCA{Components: 2, Seed: 9}.Fit(d)
+	m2, _ := PCA{Components: 2, Seed: 9}.Fit(d)
+	for i := range m1.Axes {
+		for j := range m1.Axes[i] {
+			if m1.Axes[i][j] != m2.Axes[i][j] {
+				t.Fatal("same seed produced different axes")
+			}
+		}
+	}
+}

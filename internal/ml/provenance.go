@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// ZeroWeightSlots returns the names of feature-space slots whose learned
+// weight magnitude is below eps — the provenance bookkeeping behind the
+// paper's data-driven pruning (§5.4): "Operators resulting in features
+// with zero weights can be pruned without changing the prediction
+// outcome."
+func ZeroWeightSlots(w DenseVector, fs *FeatureSpace, eps float64) []string {
+	var out []string
+	for i := 0; i < fs.Dim() && i < len(w); i++ {
+		if math.Abs(w[i]) < eps {
+			out = append(out, fs.SlotName(i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrunableFeatures groups zero-weight slots by their originating feature
+// (the prefix before '=' for categorical one-hot slots) and returns the
+// features ALL of whose slots are zero-weight. These are the operators a
+// data-driven pruner may remove from the workflow DAG: no surviving slot
+// traces back to them.
+func PrunableFeatures(w DenseVector, fs *FeatureSpace, eps float64) []string {
+	total := make(map[string]int)
+	zero := make(map[string]int)
+	for i := 0; i < fs.Dim() && i < len(w); i++ {
+		feature := featureOfSlot(fs.SlotName(i))
+		total[feature]++
+		if math.Abs(w[i]) < eps {
+			zero[feature]++
+		}
+	}
+	var out []string
+	for f, n := range total {
+		if zero[f] == n {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// featureOfSlot maps a slot name back to its feature name: categorical
+// slots are "feature=value", numeric slots are the bare feature name.
+func featureOfSlot(slot string) string {
+	if i := strings.IndexByte(slot, '='); i >= 0 {
+		return slot[:i]
+	}
+	return slot
+}

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZeroWeightSlots(t *testing.T) {
+	fs := FitFeatureSpace([]RawFeatures{
+		{"age": Num(30), "edu": Cat("HS"), "noise": Num(1)},
+		{"age": Num(40), "edu": Cat("PhD"), "noise": Num(2)},
+	})
+	w := Zeros(fs.Dim())
+	// Give weight only to "age".
+	for i := 0; i < fs.Dim(); i++ {
+		if fs.SlotName(i) == "age" {
+			w[i] = 1.5
+		}
+	}
+	zeros := ZeroWeightSlots(w, fs, 1e-9)
+	if len(zeros) != fs.Dim()-1 {
+		t.Fatalf("zero slots = %d, want %d", len(zeros), fs.Dim()-1)
+	}
+	for _, s := range zeros {
+		if s == "age" {
+			t.Fatal("weighted slot reported as zero")
+		}
+	}
+}
+
+func TestPrunableFeaturesGroupsOneHots(t *testing.T) {
+	fs := FitFeatureSpace([]RawFeatures{
+		{"edu": Cat("HS"), "occ": Cat("Tech"), "age": Num(30)},
+		{"edu": Cat("PhD"), "occ": Cat("Sales"), "age": Num(40)},
+	})
+	w := Zeros(fs.Dim())
+	// edu=PhD carries weight; everything else zero. Then "edu" is NOT
+	// prunable (one live slot) but "occ" and "age" are.
+	for i := 0; i < fs.Dim(); i++ {
+		if fs.SlotName(i) == "edu=PhD" {
+			w[i] = -0.7
+		}
+	}
+	prunable := PrunableFeatures(w, fs, 1e-9)
+	want := map[string]bool{"age": true, "occ": true}
+	if len(prunable) != 2 {
+		t.Fatalf("prunable = %v", prunable)
+	}
+	for _, f := range prunable {
+		if !want[f] {
+			t.Fatalf("unexpected prunable feature %q", f)
+		}
+	}
+}
+
+// TestDataDrivenPruningEndToEnd trains a model on data where one feature
+// is pure noise with no signal; L2 regularization should drive its weight
+// toward zero relative to the informative feature, and the provenance
+// helpers should reflect the ordering.
+func TestDataDrivenPruningEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var raw []RawFeatures
+	var labels []float64
+	for i := 0; i < 600; i++ {
+		signal := rng.NormFloat64()
+		noise := rng.NormFloat64()
+		raw = append(raw, RawFeatures{"signal": Num(signal), "noise": Num(noise)})
+		y := 0.0
+		if signal > 0 {
+			y = 1
+		}
+		labels = append(labels, y)
+	}
+	fs := FitFeatureSpace(raw)
+	ds := &Dataset{Dim: fs.Dim()}
+	for i := range raw {
+		ds.Examples = append(ds.Examples, Example{X: fs.Vectorize(raw[i]), Y: labels[i], Train: true})
+	}
+	m, err := LogisticRegression{RegParam: 0.05, Epochs: 30, Seed: 11}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wSignal, wNoise float64
+	for i := 0; i < fs.Dim(); i++ {
+		switch fs.SlotName(i) {
+		case "signal":
+			wSignal = m.W[i]
+		case "noise":
+			wNoise = m.W[i]
+		}
+	}
+	if abs(wSignal) < 5*abs(wNoise) {
+		t.Fatalf("signal weight %.3f not dominant over noise %.3f", wSignal, wNoise)
+	}
+	// With eps between the two magnitudes, only noise is prunable.
+	eps := (abs(wSignal) + abs(wNoise)) / 2
+	prunable := PrunableFeatures(m.W, fs, eps)
+	if len(prunable) != 1 || prunable[0] != "noise" {
+		t.Fatalf("prunable = %v, want [noise]", prunable)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

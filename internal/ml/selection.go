@@ -1,0 +1,95 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fitter abstracts a learner configuration that can fit a dataset — the
+// Estimator passed into Scikit-learn's model selection (paper §3.1.1).
+type Fitter interface {
+	Fit(d *Dataset) (Model, error)
+}
+
+// LRFitter adapts LogisticRegression to the Fitter interface.
+type LRFitter struct{ LogisticRegression }
+
+// Fit implements Fitter.
+func (f LRFitter) Fit(d *Dataset) (Model, error) { return f.LogisticRegression.Fit(d) }
+
+// Scorer evaluates a fitted model on a dataset; higher is better.
+type Scorer func(Model, *Dataset) float64
+
+// CrossValidate estimates a fitter's score by k-fold cross validation
+// over the training examples of d. Per Table 1, model selection is a
+// reduce implemented in terms of learning, inference, and reduce — this
+// is the inner learning+scoring loop.
+func CrossValidate(f Fitter, d *Dataset, folds int, score Scorer) (float64, error) {
+	if folds < 2 {
+		return 0, fmt.Errorf("ml: cross validation needs ≥2 folds, got %d", folds)
+	}
+	var train []Example
+	for _, e := range d.Examples {
+		if e.Train && e.HasLabel() {
+			train = append(train, e)
+		}
+	}
+	if len(train) < folds {
+		return 0, fmt.Errorf("ml: %d examples for %d folds", len(train), folds)
+	}
+	var total float64
+	for k := 0; k < folds; k++ {
+		foldTrain := &Dataset{Dim: d.Dim}
+		foldTest := &Dataset{Dim: d.Dim}
+		for i, e := range train {
+			if i%folds == k {
+				e.Train = false
+				foldTest.Examples = append(foldTest.Examples, e)
+			} else {
+				e.Train = true
+				foldTrain.Examples = append(foldTrain.Examples, e)
+			}
+		}
+		m, err := f.Fit(foldTrain)
+		if err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", k, err)
+		}
+		total += score(m, foldTest)
+	}
+	return total / float64(folds), nil
+}
+
+// GridSearchResult reports the winning configuration of a grid search.
+type GridSearchResult struct {
+	BestIndex int
+	BestScore float64
+	Scores    []float64
+	Model     Model
+}
+
+// GridSearch fits every candidate via k-fold cross validation, selects
+// the best by score, and refits it on the full training data — the
+// "reduce over learning, inference, and reduce" composition of Table 1.
+func GridSearch(candidates []Fitter, d *Dataset, folds int, score Scorer) (*GridSearchResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("ml: grid search with no candidates")
+	}
+	res := &GridSearchResult{BestIndex: -1, BestScore: math.Inf(-1), Scores: make([]float64, len(candidates))}
+	for i, f := range candidates {
+		s, err := CrossValidate(f, d, folds, score)
+		if err != nil {
+			return nil, fmt.Errorf("ml: candidate %d: %w", i, err)
+		}
+		res.Scores[i] = s
+		if s > res.BestScore {
+			res.BestScore = s
+			res.BestIndex = i
+		}
+	}
+	m, err := candidates[res.BestIndex].Fit(d)
+	if err != nil {
+		return nil, err
+	}
+	res.Model = m
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func scoreAccuracy(m Model, d *Dataset) float64 { return BinaryAccuracy(m, d) }
+
+func TestCrossValidateReasonableScore(t *testing.T) {
+	d := synthBinary(400, 5, 21)
+	score, err := CrossValidate(LRFitter{LogisticRegression{RegParam: 0.01, Epochs: 15, Seed: 1}}, d, 4, scoreAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.85 || score > 1.0 {
+		t.Fatalf("cv accuracy = %.3f", score)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := synthBinary(10, 2, 1)
+	if _, err := CrossValidate(LRFitter{}, d, 1, scoreAccuracy); err == nil {
+		t.Fatal("expected error for <2 folds")
+	}
+	tiny := &Dataset{Dim: 1, Examples: []Example{{X: Dense(1), Y: 1, Train: true}}}
+	if _, err := CrossValidate(LRFitter{}, tiny, 5, scoreAccuracy); err == nil {
+		t.Fatal("expected error for too few examples")
+	}
+}
+
+func TestGridSearchPrefersSensibleRegularization(t *testing.T) {
+	d := synthBinary(500, 6, 22)
+	candidates := []Fitter{
+		LRFitter{LogisticRegression{RegParam: 100, Epochs: 15, Seed: 1}},  // over-regularized
+		LRFitter{LogisticRegression{RegParam: 0.01, Epochs: 15, Seed: 1}}, // sensible
+		LRFitter{LogisticRegression{RegParam: 10, Epochs: 15, Seed: 1}},   // over-regularized
+	}
+	res, err := GridSearch(candidates, d, 4, scoreAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestIndex != 1 {
+		t.Fatalf("best index = %d (scores %v), want 1", res.BestIndex, res.Scores)
+	}
+	if res.Model == nil {
+		t.Fatal("no refitted model")
+	}
+	if math.IsInf(res.BestScore, 0) || res.BestScore < 0.8 {
+		t.Fatalf("best score = %v", res.BestScore)
+	}
+}
+
+func TestGridSearchEmpty(t *testing.T) {
+	if _, err := GridSearch(nil, &Dataset{}, 3, scoreAccuracy); err == nil {
+		t.Fatal("expected error for empty grid")
+	}
+}
+
+func TestCrossValidateFoldsDisjoint(t *testing.T) {
+	// Every training example must appear in exactly one validation fold:
+	// verify by counting with a scorer that tallies validation sizes.
+	d := synthBinary(100, 3, 23)
+	var seen int
+	_, err := CrossValidate(LRFitter{LogisticRegression{Epochs: 1, Seed: 1}}, d, 5,
+		func(m Model, fold *Dataset) float64 {
+			seen += len(fold.Examples)
+			return 0
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trainCount int
+	for _, e := range d.Examples {
+		if e.Train {
+			trainCount++
+		}
+	}
+	if seen != trainCount {
+		t.Fatalf("validation folds covered %d examples, want %d", seen, trainCount)
+	}
+}

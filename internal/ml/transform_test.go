@@ -1,0 +1,299 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketizerEqualFrequency(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	b, err := FitBucketizer(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumBuckets() != 10 {
+		t.Fatalf("buckets = %d, want 10", b.NumBuckets())
+	}
+	counts := make([]int, 10)
+	for _, v := range values {
+		counts[int(b.Transform(v))]++
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Fatalf("bucket %d has %d values, want 10 (equal frequency)", i, c)
+		}
+	}
+}
+
+func TestBucketizerDuplicateHeavyValues(t *testing.T) {
+	// 90% identical values must not produce duplicate boundaries.
+	values := make([]float64, 100)
+	for i := 90; i < 100; i++ {
+		values[i] = float64(i)
+	}
+	b, err := FitBucketizer(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(b.Boundaries); i++ {
+		if b.Boundaries[i] <= b.Boundaries[i-1] {
+			t.Fatal("boundaries not strictly increasing")
+		}
+	}
+}
+
+func TestBucketizerErrors(t *testing.T) {
+	if _, err := FitBucketizer(nil, 10); err == nil {
+		t.Fatal("expected error on empty values")
+	}
+	if _, err := FitBucketizer([]float64{1}, 1); err == nil {
+		t.Fatal("expected error on <2 bins")
+	}
+}
+
+// Property: bucket indices are monotone in the input value.
+func TestPropertyBucketizerMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, 50+rng.Intn(100))
+		for i := range values {
+			values[i] = rng.NormFloat64() * 100
+		}
+		b, err := FitBucketizer(values, 2+rng.Intn(8))
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		last := -1.0
+		for _, v := range sorted {
+			bk := b.Transform(v)
+			if bk < last {
+				return false
+			}
+			last = bk
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	values := []float64{2, 4, 6, 8}
+	s, err := FitStandardScaler(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Transformed values should have mean 0 and unit variance.
+	var sum, ss float64
+	for _, v := range values {
+		tv := s.Transform(v)
+		sum += tv
+		ss += tv * tv
+	}
+	if !almostEqual(sum/4, 0, 1e-12) || !almostEqual(ss/4, 1, 1e-12) {
+		t.Fatalf("standardized moments wrong: mean=%v var=%v", sum/4, ss/4)
+	}
+}
+
+func TestStandardScalerConstantInput(t *testing.T) {
+	s, err := FitStandardScaler([]float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Transform(3); v != 0 {
+		t.Fatalf("constant input transform = %v, want 0", v)
+	}
+	if _, err := FitStandardScaler(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+}
+
+func TestIndexerStableSortedIndices(t *testing.T) {
+	ix := FitIndexer([]string{"red", "blue", "green", "blue"})
+	if ix.Size() != 3 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	// Sorted order: blue=0, green=1, red=2.
+	for i, want := range []string{"blue", "green", "red"} {
+		if ix.Name(i) != want {
+			t.Fatalf("Name(%d) = %q, want %q", i, ix.Name(i), want)
+		}
+	}
+	if i, ok := ix.Index("green"); !ok || i != 1 {
+		t.Fatalf("Index(green) = %d,%v", i, ok)
+	}
+	if _, ok := ix.Index("magenta"); ok {
+		t.Fatal("unseen value should not index")
+	}
+}
+
+func TestIndexerOneHot(t *testing.T) {
+	ix := FitIndexer([]string{"a", "b"})
+	v := ix.OneHot("b")
+	if v.Dim() != 2 || v.At(1) != 1 || v.At(0) != 0 {
+		t.Fatal("one-hot wrong")
+	}
+	unseen := ix.OneHot("zzz")
+	if unseen.NNZ() != 0 {
+		t.Fatal("unseen one-hot should be all zeros")
+	}
+}
+
+func TestFeatureSpaceAssemblesMixedFeatures(t *testing.T) {
+	all := []RawFeatures{
+		{"age": Num(39), "edu": Cat("Bachelors"), "occ": Cat("Tech")},
+		{"age": Num(50), "edu": Cat("Masters"), "occ": Cat("Tech")},
+	}
+	fs := FitFeatureSpace(all)
+	// Slots: age(numeric), edu=Bachelors, edu=Masters, occ=Tech → 4 dims.
+	if fs.Dim() != 4 {
+		t.Fatalf("dim = %d, want 4", fs.Dim())
+	}
+	v := fs.Vectorize(all[0])
+	var nonzero int
+	v.ForEach(func(i int, x float64) {
+		if x != 0 {
+			nonzero++
+		}
+	})
+	if nonzero != 3 {
+		t.Fatalf("nonzero = %d, want 3 (age + 2 one-hots)", nonzero)
+	}
+}
+
+func TestFeatureSpaceUnseenCategoryIgnored(t *testing.T) {
+	fs := FitFeatureSpace([]RawFeatures{{"c": Cat("x")}})
+	v := fs.Vectorize(RawFeatures{"c": Cat("never-seen")})
+	if v.NNZ() != 0 {
+		t.Fatal("unseen category should vectorize to zero")
+	}
+}
+
+func TestFeatureSpaceSlotNamesProvenance(t *testing.T) {
+	fs := FitFeatureSpace([]RawFeatures{{"age": Num(1), "edu": Cat("HS")}})
+	found := map[string]bool{}
+	for i := 0; i < fs.Dim(); i++ {
+		found[fs.SlotName(i)] = true
+	}
+	if !found["age"] || !found["edu=HS"] {
+		t.Fatalf("slot names = %v", found)
+	}
+}
+
+// Property: vectorization is consistent — same raw features always produce
+// the same vector, and every nonzero slot traces back to an input feature.
+func TestPropertyFeatureSpaceConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cats := []string{"a", "b", "c", "d"}
+		var all []RawFeatures
+		for i := 0; i < 20; i++ {
+			rf := RawFeatures{
+				"n1": Num(rng.NormFloat64()),
+				"c1": Cat(cats[rng.Intn(len(cats))]),
+			}
+			all = append(all, rf)
+		}
+		fs := FitFeatureSpace(all)
+		for _, rf := range all {
+			v1, v2 := fs.Vectorize(rf), fs.Vectorize(rf)
+			if v1.Dim() != v2.Dim() {
+				return false
+			}
+			for i := 0; i < v1.Dim(); i++ {
+				if v1.At(i) != v2.At(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type constModel float64
+
+func (c constModel) Predict(Vector) float64 { return float64(c) }
+
+func TestMetricsAccuracy(t *testing.T) {
+	d := &Dataset{Dim: 1, Examples: []Example{
+		{X: Dense(0), Y: 1}, {X: Dense(0), Y: 1}, {X: Dense(0), Y: 0},
+	}}
+	if acc := BinaryAccuracy(constModel(0.9), d); !almostEqual(acc, 2.0/3, 1e-12) {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestMetricsPRF1(t *testing.T) {
+	d := &Dataset{Dim: 1, Examples: []Example{
+		{X: Dense(0), Y: 1}, {X: Dense(0), Y: 0}, {X: Dense(0), Y: 1},
+	}}
+	r := BinaryPRF1(constModel(1), d) // predicts positive for all
+	if r.TP != 2 || r.FP != 1 || r.FN != 0 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if !almostEqual(r.Precision, 2.0/3, 1e-12) || r.Recall != 1 {
+		t.Fatalf("P/R = %v/%v", r.Precision, r.Recall)
+	}
+	if r.F1 <= 0 || r.F1 > 1 {
+		t.Fatalf("F1 = %v", r.F1)
+	}
+}
+
+func TestMetricsLogLossBounds(t *testing.T) {
+	d := &Dataset{Dim: 1, Examples: []Example{{X: Dense(0), Y: 1}}}
+	perfect := LogLoss(constModel(1), d)
+	bad := LogLoss(constModel(0.1), d)
+	if perfect >= bad {
+		t.Fatal("perfect prediction should have lower log loss")
+	}
+	if math.IsInf(bad, 0) || math.IsNaN(bad) {
+		t.Fatal("log loss must be clipped finite")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	d := &Dataset{Dim: 1, Examples: []Example{
+		{X: Dense(0), Y: 0}, {X: Dense(0), Y: 1}, {X: Dense(0), Y: 1},
+	}}
+	cm := ConfusionMatrix(constModel(1), d, 2)
+	if cm[0][1] != 1 || cm[1][1] != 2 || cm[0][0] != 0 {
+		t.Fatalf("confusion = %v", cm)
+	}
+	if s := FormatConfusion(cm); s == "" {
+		t.Fatal("empty confusion format")
+	}
+}
+
+func TestSummarizeClusters(t *testing.T) {
+	m := &KMeansModel{Centroids: []DenseVector{Dense(0, 0), Dense(10, 10)}}
+	d := &Dataset{Dim: 2, Examples: []Example{
+		{X: Dense(0.1, 0), ID: "near-origin"},
+		{X: Dense(9.9, 10), ID: "near-ten"},
+		{X: Dense(0, 0.2), ID: "origin2"},
+	}}
+	s := SummarizeClusters(m, d, 5)
+	if s.K != 2 || s.Sizes[0] != 2 || s.Sizes[1] != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Inertia <= 0 {
+		t.Fatal("inertia should be positive for off-centroid points")
+	}
+	if len(s.TopMembers[0]) != 2 || s.TopMembers[0][0] != "near-origin" {
+		t.Fatalf("members = %v", s.TopMembers)
+	}
+}

@@ -1,0 +1,258 @@
+// Package ml is HELIX-Go's machine-learning substrate, standing in for the
+// JVM libraries the original system delegates to (MLlib, DeepLearning4j,
+// scikit-learn equivalents; paper §2.1, §3.3). It provides dense and sparse
+// feature vectors, learners (logistic regression, softmax regression,
+// naive Bayes, k-means, skip-gram embeddings, random Fourier features),
+// learned feature transformations (bucketizer, standard scaler, indexer),
+// and evaluation metrics.
+//
+// Everything is deterministic given an explicit seed, which is what lets
+// the workflow layer distinguish reusable operators from nondeterministic
+// ones (paper §6.2, MNIST workflow).
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vector is a feature vector x ∈ R^d (paper §3.1, "Data Representation").
+// It has a dense and a sparse physical representation behind one interface;
+// the synthesizer chooses the representation when assembling examples
+// (paper §3.2.1, "Sparse vs. Dense Features").
+type Vector interface {
+	// Dim returns d, the dimensionality of the enclosing space.
+	Dim() int
+	// At returns the i-th coordinate.
+	At(i int) float64
+	// Dot returns the inner product with other. Panics on dimension
+	// mismatch.
+	Dot(other Vector) float64
+	// NNZ returns the number of explicitly stored (potentially non-zero)
+	// coordinates.
+	NNZ() int
+	// ForEach calls f for every explicitly stored coordinate in increasing
+	// index order.
+	ForEach(f func(i int, v float64))
+	// ApproxBytes estimates the serialized size, used by the execution
+	// engine's materialization decisions.
+	ApproxBytes() int64
+}
+
+// DenseVector is a contiguous float64 vector.
+type DenseVector []float64
+
+// Dense returns a dense vector backed by v (no copy).
+func Dense(v ...float64) DenseVector { return DenseVector(v) }
+
+// Zeros returns a dense zero vector of dimension d.
+func Zeros(d int) DenseVector { return make(DenseVector, d) }
+
+// Dim implements Vector.
+func (v DenseVector) Dim() int { return len(v) }
+
+// At implements Vector.
+func (v DenseVector) At(i int) float64 { return v[i] }
+
+// NNZ implements Vector.
+func (v DenseVector) NNZ() int { return len(v) }
+
+// ForEach implements Vector.
+func (v DenseVector) ForEach(f func(i int, x float64)) {
+	for i, x := range v {
+		f(i, x)
+	}
+}
+
+// ApproxBytes implements Vector.
+func (v DenseVector) ApproxBytes() int64 { return int64(8 * len(v)) }
+
+// Dot implements Vector.
+func (v DenseVector) Dot(other Vector) float64 {
+	if v.Dim() != other.Dim() {
+		panic(fmt.Sprintf("ml: dot dimension mismatch %d vs %d", v.Dim(), other.Dim()))
+	}
+	switch o := other.(type) {
+	case DenseVector:
+		var s float64
+		for i, x := range v {
+			s += x * o[i]
+		}
+		return s
+	default:
+		var s float64
+		other.ForEach(func(i int, x float64) { s += v[i] * x })
+		return s
+	}
+}
+
+// Clone returns a copy of v.
+func (v DenseVector) Clone() DenseVector {
+	out := make(DenseVector, len(v))
+	copy(out, v)
+	return out
+}
+
+// AddScaled adds alpha*other to v in place. other may be sparse.
+func (v DenseVector) AddScaled(alpha float64, other Vector) {
+	other.ForEach(func(i int, x float64) { v[i] += alpha * x })
+}
+
+// Scale multiplies v by alpha in place.
+func (v DenseVector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm.
+func (v DenseVector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// SparseVector stores only non-zero coordinates, sorted by index.
+type SparseVector struct {
+	N   int       // dimension d
+	Idx []int     // sorted coordinate indices
+	Val []float64 // values aligned with Idx
+}
+
+// Sparse builds a sparse vector of dimension d from an index→value map.
+func Sparse(d int, elems map[int]float64) *SparseVector {
+	idx := make([]int, 0, len(elems))
+	for i := range elems {
+		if i < 0 || i >= d {
+			panic(fmt.Sprintf("ml: sparse index %d out of range [0,%d)", i, d))
+		}
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	val := make([]float64, len(idx))
+	for j, i := range idx {
+		val[j] = elems[i]
+	}
+	return &SparseVector{N: d, Idx: idx, Val: val}
+}
+
+// Dim implements Vector.
+func (v *SparseVector) Dim() int { return v.N }
+
+// NNZ implements Vector.
+func (v *SparseVector) NNZ() int { return len(v.Idx) }
+
+// At implements Vector (binary search on indices).
+func (v *SparseVector) At(i int) float64 {
+	j := sort.SearchInts(v.Idx, i)
+	if j < len(v.Idx) && v.Idx[j] == i {
+		return v.Val[j]
+	}
+	return 0
+}
+
+// ForEach implements Vector.
+func (v *SparseVector) ForEach(f func(i int, x float64)) {
+	for j, i := range v.Idx {
+		f(i, v.Val[j])
+	}
+}
+
+// ApproxBytes implements Vector.
+func (v *SparseVector) ApproxBytes() int64 { return int64(16 * len(v.Idx)) }
+
+// Dot implements Vector.
+func (v *SparseVector) Dot(other Vector) float64 {
+	if v.Dim() != other.Dim() {
+		panic(fmt.Sprintf("ml: dot dimension mismatch %d vs %d", v.Dim(), other.Dim()))
+	}
+	var s float64
+	for j, i := range v.Idx {
+		s += v.Val[j] * other.At(i)
+	}
+	return s
+}
+
+// Concat concatenates vectors into one vector of summed dimension
+// (feature concatenation ∈ F, paper §3.1). The result is dense if any
+// input is dense or if density exceeds ~25%, sparse otherwise — mirroring
+// HELIX's "dense wins mixtures" policy (§3.2.1).
+func Concat(vs ...Vector) Vector {
+	total, nnz := 0, 0
+	anyDense := false
+	for _, v := range vs {
+		total += v.Dim()
+		nnz += v.NNZ()
+		if _, ok := v.(DenseVector); ok {
+			anyDense = true
+		}
+	}
+	if anyDense || (total > 0 && float64(nnz)/float64(total) > 0.25) {
+		out := make(DenseVector, total)
+		off := 0
+		for _, v := range vs {
+			v.ForEach(func(i int, x float64) { out[off+i] = x })
+			off += v.Dim()
+		}
+		return out
+	}
+	idx := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	off := 0
+	for _, v := range vs {
+		v.ForEach(func(i int, x float64) {
+			idx = append(idx, off+i)
+			val = append(val, x)
+		})
+		off += v.Dim()
+	}
+	return &SparseVector{N: total, Idx: idx, Val: val}
+}
+
+// Example is one labeled (or unlabeled) training example: the assembled
+// feature vector plus an optional label (paper §3.2.1, "Examples").
+type Example struct {
+	X Vector
+	// Y is the label; NaN when unlabeled (unsupervised settings).
+	Y float64
+	// Train marks whether the example belongs to the training split.
+	Train bool
+	// ID carries an application-level identifier through the pipeline
+	// (e.g. a gene name in the genomics workflow).
+	ID string
+}
+
+// HasLabel reports whether the example carries a label.
+func (e Example) HasLabel() bool { return !math.IsNaN(e.Y) }
+
+// Dataset is D: a collection of examples with a shared dimensionality.
+type Dataset struct {
+	Examples []Example
+	Dim      int
+}
+
+// ApproxBytes implements the engine's Sizer so datasets report their
+// materialization footprint cheaply.
+func (d *Dataset) ApproxBytes() int64 {
+	var b int64 = 16
+	for _, e := range d.Examples {
+		b += 32
+		if e.X != nil {
+			b += e.X.ApproxBytes()
+		}
+		b += int64(len(e.ID))
+	}
+	return b
+}
+
+// Split partitions the dataset into train and test subsets by the Train
+// flag, without copying vectors.
+func (d *Dataset) Split() (train, test *Dataset) {
+	train = &Dataset{Dim: d.Dim}
+	test = &Dataset{Dim: d.Dim}
+	for _, e := range d.Examples {
+		if e.Train {
+			train.Examples = append(train.Examples, e)
+		} else {
+			test.Examples = append(test.Examples, e)
+		}
+	}
+	return train, test
+}

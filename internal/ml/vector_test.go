@@ -1,0 +1,221 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseVectorBasics(t *testing.T) {
+	v := Dense(1, 2, 3)
+	if v.Dim() != 3 || v.NNZ() != 3 {
+		t.Fatalf("dim/nnz = %d/%d", v.Dim(), v.NNZ())
+	}
+	if v.At(1) != 2 {
+		t.Fatalf("At(1) = %v", v.At(1))
+	}
+	if got := v.Dot(Dense(4, 5, 6)); got != 32 {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+}
+
+func TestDenseDotSparse(t *testing.T) {
+	d := Dense(1, 0, 2, 0, 3)
+	s := Sparse(5, map[int]float64{0: 10, 4: 100})
+	if got := d.Dot(s); got != 310 {
+		t.Fatalf("dense·sparse = %v, want 310", got)
+	}
+	if got := s.Dot(d); got != 310 {
+		t.Fatalf("sparse·dense = %v, want 310", got)
+	}
+}
+
+func TestDotDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dense(1, 2).Dot(Dense(1, 2, 3))
+}
+
+func TestSparseVectorAt(t *testing.T) {
+	s := Sparse(10, map[int]float64{3: 1.5, 7: -2})
+	if s.At(3) != 1.5 || s.At(7) != -2 || s.At(0) != 0 || s.At(9) != 0 {
+		t.Fatal("sparse At wrong")
+	}
+	if s.NNZ() != 2 || s.Dim() != 10 {
+		t.Fatalf("nnz/dim = %d/%d", s.NNZ(), s.Dim())
+	}
+}
+
+func TestSparseOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	Sparse(3, map[int]float64{5: 1})
+}
+
+func TestSparseForEachOrdered(t *testing.T) {
+	s := Sparse(100, map[int]float64{50: 1, 2: 2, 99: 3, 10: 4})
+	last := -1
+	s.ForEach(func(i int, _ float64) {
+		if i <= last {
+			t.Fatalf("ForEach out of order: %d after %d", i, last)
+		}
+		last = i
+	})
+}
+
+func TestAddScaled(t *testing.T) {
+	v := Dense(1, 1, 1)
+	v.AddScaled(2, Sparse(3, map[int]float64{1: 3}))
+	if v[0] != 1 || v[1] != 7 || v[2] != 1 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestConcatDense(t *testing.T) {
+	c := Concat(Dense(1, 2), Dense(3))
+	if c.Dim() != 3 {
+		t.Fatalf("dim = %d", c.Dim())
+	}
+	if _, ok := c.(DenseVector); !ok {
+		t.Fatal("concat of dense should be dense")
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if c.At(i) != want {
+			t.Fatalf("c[%d] = %v, want %v", i, c.At(i), want)
+		}
+	}
+}
+
+func TestConcatSparseStaysSparse(t *testing.T) {
+	a := Sparse(100, map[int]float64{1: 1})
+	b := Sparse(100, map[int]float64{50: 2})
+	c := Concat(a, b)
+	if _, ok := c.(*SparseVector); !ok {
+		t.Fatal("concat of sparse low-density vectors should stay sparse")
+	}
+	if c.Dim() != 200 || c.At(1) != 1 || c.At(150) != 2 {
+		t.Fatal("concat offsets wrong")
+	}
+}
+
+func TestConcatMixedGoesDense(t *testing.T) {
+	// Paper §3.2.1: "When assembling a mixture of dense and sparse FVs,
+	// HELIX currently opts for a dense representation".
+	c := Concat(Sparse(10, map[int]float64{2: 5}), Dense(1, 2))
+	if _, ok := c.(DenseVector); !ok {
+		t.Fatal("mixed concat should be dense")
+	}
+	if c.At(2) != 5 || c.At(10) != 1 || c.At(11) != 2 {
+		t.Fatal("mixed concat values wrong")
+	}
+}
+
+// Property: sparse and dense representations agree on Dot for random data.
+func TestPropertySparseDenseDotAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(50)
+		dense := make(DenseVector, d)
+		elems := make(map[int]float64)
+		for i := 0; i < d/2; i++ {
+			j := rng.Intn(d)
+			v := rng.NormFloat64()
+			dense[j] = v
+			elems[j] = v
+		}
+		// Zero out any dense coordinate not recorded in elems (overwrites).
+		for i := range dense {
+			if _, ok := elems[i]; !ok {
+				dense[i] = 0
+			}
+		}
+		sparse := Sparse(d, elems)
+		other := make(DenseVector, d)
+		for i := range other {
+			other[i] = rng.NormFloat64()
+		}
+		return almostEqual(dense.Dot(other), sparse.Dot(other), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Concat preserves all coordinates at shifted offsets.
+func TestPropertyConcatPreservesCoordinates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		vs := make([]Vector, n)
+		var flat []float64
+		for i := range vs {
+			d := 1 + rng.Intn(10)
+			dv := make(DenseVector, d)
+			for j := range dv {
+				dv[j] = rng.NormFloat64()
+			}
+			vs[i] = dv
+			flat = append(flat, dv...)
+		}
+		c := Concat(vs...)
+		if c.Dim() != len(flat) {
+			return false
+		}
+		for i, want := range flat {
+			if !almostEqual(c.At(i), want, 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	d := &Dataset{Dim: 1, Examples: []Example{
+		{X: Dense(1), Y: 0, Train: true},
+		{X: Dense(2), Y: 1, Train: false},
+		{X: Dense(3), Y: 1, Train: true},
+	}}
+	train, test := d.Split()
+	if len(train.Examples) != 2 || len(test.Examples) != 1 {
+		t.Fatalf("split sizes = %d/%d", len(train.Examples), len(test.Examples))
+	}
+	if train.Dim != 1 || test.Dim != 1 {
+		t.Fatal("split lost dim")
+	}
+}
+
+func TestExampleHasLabel(t *testing.T) {
+	if (Example{Y: math.NaN()}).HasLabel() {
+		t.Fatal("NaN label should be unlabeled")
+	}
+	if !(Example{Y: 0}).HasLabel() {
+		t.Fatal("zero label is a label")
+	}
+}
+
+func TestApproxBytesPositive(t *testing.T) {
+	if Dense(1, 2, 3).ApproxBytes() != 24 {
+		t.Fatal("dense bytes")
+	}
+	s := Sparse(100, map[int]float64{1: 1, 2: 2})
+	if s.ApproxBytes() != 32 {
+		t.Fatal("sparse bytes")
+	}
+	ds := &Dataset{Examples: []Example{{X: Dense(1), ID: "ab"}}}
+	if ds.ApproxBytes() <= 0 {
+		t.Fatal("dataset bytes")
+	}
+}

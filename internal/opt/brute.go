@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"math"
+
+	"helix/internal/core"
+)
+
+// BruteForceStates solves OPT-EXEC-PLAN by exhaustive enumeration of all
+// 3^n state assignments. Exponential — test oracle only (n ≲ 12).
+func BruteForceStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+	var live []*core.Node
+	for _, n := range d.Nodes() {
+		if _, ok := costs[n]; ok {
+			live = append(live, n)
+		}
+	}
+	best := Plan{Time: math.Inf(1)}
+	assign := make([]core.State, len(live))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(live) {
+			states := make(map[*core.Node]core.State, d.Len())
+			for _, n := range d.Nodes() {
+				states[n] = core.StatePrune
+			}
+			for j, n := range live {
+				states[n] = assign[j]
+			}
+			if CheckFeasible(d, costs, states) != nil {
+				return
+			}
+			t := PlanTime(states, costs)
+			if t < best.Time {
+				best = Plan{States: states, Time: t}
+			}
+			return
+		}
+		for _, s := range []core.State{core.StateCompute, core.StateLoad, core.StatePrune} {
+			assign[i] = s
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// ExactOMP solves OPT-MAT-PLAN exactly by enumerating all 2^n
+// materialization subsets, under the paper's simplifying assumption for the
+// NP-hardness proof (Eq. 11): the next iteration's workflow is identical
+// and every node is reusable. For each candidate subset M it evaluates
+// Equation 3, T_M(W_t) = Σ_{n∈M} l_n + T*(W_{t+1} | M materialized), using
+// the optimal OEP solver for the second term. Exponential — test oracle and
+// ablation reference only.
+func ExactOMP(d *core.DAG, costs map[*core.Node]Costs, sizes map[*core.Node]int64, budget int64) (best map[*core.Node]bool, bestTime float64) {
+	nodes := d.Nodes()
+	bestTime = math.Inf(1)
+	n := len(nodes)
+	for mask := 0; mask < 1<<n; mask++ {
+		var matTime float64
+		var used int64
+		m := make(map[*core.Node]bool)
+		ok := true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			node := nodes[i]
+			c, inCosts := costs[node]
+			if !inCosts || math.IsInf(c.Load, 1) {
+				ok = false // cannot materialize a node with unknown load cost
+				break
+			}
+			m[node] = true
+			matTime += c.Load // write time ≈ load time (paper §5.3)
+			used += sizes[node]
+		}
+		if !ok || (budget >= 0 && used > budget) {
+			continue
+		}
+		// Next-iteration costs: identical workflow, loads available only
+		// for materialized nodes.
+		next := make(map[*core.Node]Costs, len(costs))
+		for node, c := range costs {
+			nc := Costs{Compute: c.Compute, Load: math.Inf(1), Required: c.Required}
+			if m[node] {
+				nc.Load = c.Load
+			}
+			next[node] = nc
+		}
+		t := matTime + OptimalStates(d, next).Time
+		if t < bestTime {
+			bestTime = t
+			best = m
+		}
+	}
+	return best, bestTime
+}

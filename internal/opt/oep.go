@@ -1,0 +1,260 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"helix/internal/core"
+)
+
+// Costs holds the per-node inputs to OPT-EXEC-PLAN (paper §5.1).
+// Times are in seconds (float64 for solver arithmetic).
+type Costs struct {
+	// Compute is c_i: the time to compute the node from in-memory inputs.
+	Compute float64
+	// Load is l_i: the time to load the node's equivalent materialization
+	// from disk. math.Inf(1) when no equivalent materialization exists
+	// (Definition 3).
+	Load float64
+	// MustCompute enforces Constraint 1: original operators are recomputed.
+	MustCompute bool
+	// Required forbids pruning (used for outputs that have no previously
+	// recorded result: they must be produced one way or another).
+	Required bool
+}
+
+// Plan is the result of OEP: a state per node plus the projected run time
+// T(W, s) of Equation 1.
+type Plan struct {
+	States map[*core.Node]core.State
+	// Time is the projected run time in seconds under the true costs.
+	Time float64
+}
+
+// OptimalStates solves OPT-EXEC-PLAN (Problem 1) optimally via Algorithm 1:
+// the linear-time reduction to the project selection problem, solved by
+// min-cut. Nodes absent from costs are pruned outright (they are outside
+// the program slice).
+//
+// The reduction builds, per node n_i, project a_i with profit -l_i and
+// project b_i with profit l_i - c_i, with a_i prerequisite to b_i, and
+// a_i prerequisite to b_j for every child n_j of n_i. Selecting {a_i, b_i}
+// ⇔ Compute, {a_i} ⇔ Load, {} ⇔ Prune.
+//
+// Infinite loads, forced computes and required nodes are encoded with
+// tiered finite magnitudes (bigM, epsilon) so that the flow network stays
+// finite; the tiers are separated by more than the total true cost so they
+// can never be traded against real savings.
+func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+	nodes := d.TopoSort()
+	// Index the participating (live) nodes.
+	idx := make(map[*core.Node]int)
+	var live []*core.Node
+	for _, n := range nodes {
+		if _, ok := costs[n]; ok {
+			idx[n] = len(live)
+			live = append(live, n)
+		}
+	}
+
+	// Tiered magnitudes: sumTrue < bigM < reward, with epsilon far below
+	// any real cost distinction.
+	var sumTrue float64
+	for _, c := range costs {
+		sumTrue += c.Compute
+		if !math.IsInf(c.Load, 1) {
+			sumTrue += c.Load
+		}
+	}
+	bigM := (sumTrue + 1) * 1e3
+	// reward dominates the worst-case drag of forcing a node: even if every
+	// node in the instance must be loaded at bigM cost to satisfy the
+	// forced selection, the reward still wins. Kept within ~9 decimal
+	// orders of the true costs so float64 additions stay exact enough.
+	reward := bigM * float64(len(live)+1) * 1e3
+
+	// Solver-facing costs: infinite loads become bigM (never attractive,
+	// but finite for the flow network).
+	type solverCost struct{ load, compute float64 }
+	sc := make([]solverCost, len(live))
+	for i, n := range live {
+		c := costs[n]
+		load := c.Load
+		if math.IsInf(load, 1) || c.MustCompute {
+			load = bigM
+		}
+		sc[i] = solverCost{load: load, compute: c.Compute}
+	}
+
+	// Projects: a_i at 2i, b_i at 2i+1. Constraint 1 (MustCompute) is
+	// encoded as a dominating reward on b_i (selecting b_i ⇔ Compute);
+	// Required as a dominating reward on a_i (selecting a_i ⇔ not pruned).
+	profits := make([]float64, 2*len(live))
+	var prereqs []Prereq
+	for i, n := range live {
+		profits[2*i] = -sc[i].load
+		profits[2*i+1] = sc[i].load - sc[i].compute
+		if costs[n].MustCompute {
+			profits[2*i+1] += reward
+		}
+		if costs[n].Required {
+			profits[2*i] += reward
+		}
+		prereqs = append(prereqs, Prereq{Project: 2*i + 1, Requires: 2 * i})
+		for _, child := range n.Children() {
+			j, ok := idx[child]
+			if !ok {
+				continue // child outside the slice
+			}
+			// Computing child b_j requires parent not pruned: a_i.
+			prereqs = append(prereqs, Prereq{Project: 2*j + 1, Requires: 2 * i})
+		}
+	}
+
+	selected := SolvePSP(profits, prereqs)
+
+	plan := Plan{States: make(map[*core.Node]core.State, d.Len())}
+	for _, n := range nodes {
+		i, ok := idx[n]
+		if !ok {
+			plan.States[n] = core.StatePrune
+			continue
+		}
+		switch {
+		case selected[2*i] && selected[2*i+1]:
+			plan.States[n] = core.StateCompute
+		case selected[2*i]:
+			plan.States[n] = core.StateLoad
+		default:
+			plan.States[n] = core.StatePrune
+		}
+	}
+	plan.Time = PlanTime(plan.States, costs)
+	return plan
+}
+
+// PlanTime evaluates Equation 1: the total run time of a state assignment
+// under the true costs. Pruned nodes and nodes outside costs contribute 0.
+func PlanTime(states map[*core.Node]core.State, costs map[*core.Node]Costs) float64 {
+	var total float64
+	for n, s := range states {
+		c, ok := costs[n]
+		if !ok {
+			continue
+		}
+		switch s {
+		case core.StateCompute:
+			total += c.Compute
+		case core.StateLoad:
+			total += c.Load
+		}
+	}
+	return total
+}
+
+// CheckFeasible verifies that a state assignment satisfies the OEP
+// constraints: Constraint 1 (MustCompute ⇒ Compute), Constraint 2
+// (Compute ⇒ no parent pruned), loads only with finite load cost, and
+// Required ⇒ not pruned. Nodes outside costs must be pruned.
+func CheckFeasible(d *core.DAG, costs map[*core.Node]Costs, states map[*core.Node]core.State) error {
+	for _, n := range d.Nodes() {
+		s, ok := states[n]
+		if !ok {
+			return fmt.Errorf("opt: node %q has no state", n.Name)
+		}
+		c, inCosts := costs[n]
+		if !inCosts {
+			if s != core.StatePrune {
+				return fmt.Errorf("opt: node %q outside slice has state %v", n.Name, s)
+			}
+			continue
+		}
+		if c.MustCompute && s != core.StateCompute {
+			return fmt.Errorf("opt: original node %q has state %v, want Sc (Constraint 1)", n.Name, s)
+		}
+		if c.Required && s == core.StatePrune {
+			return fmt.Errorf("opt: required node %q pruned", n.Name)
+		}
+		if s == core.StateLoad && math.IsInf(c.Load, 1) {
+			return fmt.Errorf("opt: node %q loaded without equivalent materialization", n.Name)
+		}
+		if s == core.StateCompute {
+			for _, p := range n.Parents() {
+				if states[p] == core.StatePrune {
+					return fmt.Errorf("opt: node %q computed but parent %q pruned (Constraint 2)", n.Name, p.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GreedyStates is an ablation baseline for OEP: a local rule that loads a
+// node iff loading is cheaper than computing it (ignoring cascading
+// pruning), then prunes ancestors that no computed node depends on. It is
+// feasible but not optimal; BenchmarkAblation_OEPvsGreedy quantifies the
+// gap.
+func GreedyStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+	states := make(map[*core.Node]core.State, d.Len())
+	order := d.TopoSort()
+	// First pass: local load-vs-compute choice.
+	for _, n := range order {
+		c, ok := costs[n]
+		switch {
+		case !ok:
+			states[n] = core.StatePrune
+		case c.MustCompute:
+			states[n] = core.StateCompute
+		case c.Load < c.Compute:
+			states[n] = core.StateLoad
+		default:
+			states[n] = core.StateCompute
+		}
+	}
+	// Second pass (reverse topo): prune nodes no computed child needs, and
+	// that are not required.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if states[n] != core.StateLoad && states[n] != core.StateCompute {
+			continue
+		}
+		c := costs[n]
+		if c.MustCompute || c.Required {
+			continue
+		}
+		needed := false
+		for _, ch := range n.Children() {
+			if states[ch] == core.StateCompute {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			states[n] = core.StatePrune
+		}
+	}
+	// Third pass: pruning may have orphaned computed nodes whose parents
+	// got pruned. Fix by re-promoting parents of computed nodes to Load or
+	// Compute until a fixed point (bounded by |N| rounds).
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if states[n] != core.StateCompute {
+				continue
+			}
+			for _, p := range n.Parents() {
+				if states[p] != core.StatePrune {
+					continue
+				}
+				c := costs[p]
+				if !math.IsInf(c.Load, 1) && c.Load < c.Compute {
+					states[p] = core.StateLoad
+				} else {
+					states[p] = core.StateCompute
+				}
+				changed = true
+			}
+		}
+	}
+	return Plan{States: states, Time: PlanTime(states, costs)}
+}

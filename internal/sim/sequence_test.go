@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"helix/internal/core"
+)
+
+func TestSampleSequenceDistribution(t *testing.T) {
+	const n = 2000
+	seq := SampleSequence("census", n, 1)
+	if len(seq) != n {
+		t.Fatalf("len = %d", len(seq))
+	}
+	if seq[0] != core.DPR {
+		t.Fatal("iteration 0 must be the initial DPR build")
+	}
+	counts := map[core.Component]int{}
+	for _, c := range seq[1:] {
+		counts[c]++
+	}
+	// Census domain: PPR ≈ 60%, DPR ≈ 30%, L/I ≈ 10%.
+	frac := func(c core.Component) float64 { return float64(counts[c]) / float64(n-1) }
+	if f := frac(core.PPR); f < 0.5 || f > 0.7 {
+		t.Fatalf("PPR fraction = %.2f, want ≈0.6", f)
+	}
+	if f := frac(core.DPR); f < 0.2 || f > 0.4 {
+		t.Fatalf("DPR fraction = %.2f, want ≈0.3", f)
+	}
+}
+
+func TestSampleSequenceAllDPRForNLP(t *testing.T) {
+	for _, c := range SampleSequence("nlp", 50, 2) {
+		if c != core.DPR {
+			t.Fatal("nlp domain must sample only DPR iterations")
+		}
+	}
+}
+
+func TestSampleSequenceDeterministic(t *testing.T) {
+	a := SampleSequence("mnist", 30, 7)
+	b := SampleSequence("mnist", 30, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestSampleSequenceEmpty(t *testing.T) {
+	if SampleSequence("census", 0, 1) != nil {
+		t.Fatal("zero iterations should return nil")
+	}
+}
+
+// TestRobustnessAcrossRandomSchedules is the paper's methodology run over
+// freshly sampled schedules instead of the fixed figure schedule: HELIX
+// OPT must beat the no-reuse baseline on every sampled schedule.
+func TestRobustnessAcrossRandomSchedules(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed)), func(t *testing.T) {
+			t.Parallel()
+			base, err := NewWorkload("census", tinyScale(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl := WithSampledSequence(base, 6, seed)
+			opt, err := RunSeries(ctx, wl, HelixOpt, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base2, _ := NewWorkload("census", tinyScale(), 1)
+			wl2 := WithSampledSequence(base2, 6, seed)
+			ks, err := RunSeries(ctx, wl2, KeystoneML, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.TotalSeconds() >= ks.TotalSeconds() {
+				t.Errorf("schedule seed %d: helix-opt %.3fs ≥ keystoneml %.3fs",
+					seed, opt.TotalSeconds(), ks.TotalSeconds())
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"helix/internal/core"
+	"helix/internal/workloads"
+)
+
+func init() { workloads.RegisterAll() }
+
+func tinyScale() workloads.Scale { return workloads.Scale{Rows: 0, CostFactor: 2} }
+
+func TestSupportsMatchesTable2(t *testing.T) {
+	cases := []struct {
+		system, workload string
+		want             bool
+	}{
+		{"helix-opt", "census", true},
+		{"helix-opt", "genomics", true},
+		{"helix-opt", "nlp", true},
+		{"helix-opt", "mnist", true},
+		{"keystoneml", "census", true},
+		{"keystoneml", "genomics", true},
+		{"keystoneml", "nlp", false},
+		{"keystoneml", "mnist", true},
+		{"deepdive", "census", true},
+		{"deepdive", "genomics", false},
+		{"deepdive", "nlp", true},
+		{"deepdive", "mnist", false},
+	}
+	for _, c := range cases {
+		if got := Supports(c.system, c.workload); got != c.want {
+			t.Errorf("Supports(%s, %s) = %v, want %v", c.system, c.workload, got, c.want)
+		}
+	}
+}
+
+func TestNewWorkloadNames(t *testing.T) {
+	for _, name := range []string{"census", "census10x", "genomics", "nlp", "mnist"} {
+		wl, err := NewWorkload(name, tinyScale(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wl == nil {
+			t.Fatalf("%s: nil workload", name)
+		}
+	}
+	if _, err := NewWorkload("nope", tinyScale(), 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestRunSeriesCensusHelixOpt(t *testing.T) {
+	wl, err := NewWorkload("census", tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSeries(context.Background(), wl, HelixOpt, Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 4 {
+		t.Fatalf("metrics = %d iterations", len(res.Metrics))
+	}
+	cum := res.Cumulative()
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatal("cumulative time decreased")
+		}
+	}
+	if res.TotalSeconds() <= 0 {
+		t.Fatal("zero total time")
+	}
+	for _, m := range res.Metrics {
+		if len(m.Outputs) == 0 {
+			t.Fatalf("iteration %d produced no outputs", m.Iteration)
+		}
+	}
+}
+
+func TestRunSeriesDeepDiveStopsAtNonDPR(t *testing.T) {
+	wl, err := NewWorkload("census", tinyScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSeries(context.Background(), wl, DeepDive, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The census sequence is DPR,DPR,DPR,PPR,...: DeepDive runs 3.
+	if len(res.Metrics) != 3 {
+		t.Fatalf("DeepDive ran %d iterations, want 3 (DPR prefix)", len(res.Metrics))
+	}
+	for _, m := range res.Metrics {
+		if m.Type != core.DPR {
+			t.Fatal("DeepDive ran a non-DPR iteration")
+		}
+	}
+}
+
+func TestRunSeriesReuseBeatsNoReuse(t *testing.T) {
+	// The core claim of the paper at unit-test scale: HELIX OPT's
+	// cumulative time over PPR-heavy iterations is below KeystoneML's.
+	ctx := context.Background()
+	wlA, _ := NewWorkload("census", tinyScale(), 1)
+	optRes, err := RunSeries(ctx, wlA, HelixOpt, Config{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlB, _ := NewWorkload("census", tinyScale(), 1)
+	ksRes, err := RunSeries(ctx, wlB, KeystoneML, Config{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.TotalSeconds() >= ksRes.TotalSeconds() {
+		t.Fatalf("helix-opt %.3fs ≥ keystoneml %.3fs: no cross-iteration gain",
+			optRes.TotalSeconds(), ksRes.TotalSeconds())
+	}
+}
+
+func TestRunSeriesOutputsAgreeAcrossSystems(t *testing.T) {
+	// Theorem 1 at the system level: HELIX OPT must produce the same
+	// numeric outputs as a from-scratch system on the same sequence.
+	ctx := context.Background()
+	wlA, _ := NewWorkload("census", tinyScale(), 1)
+	opt, err := RunSeries(ctx, wlA, HelixOpt, Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlB, _ := NewWorkload("census", tinyScale(), 1)
+	ks, err := RunSeries(ctx, wlB, KeystoneML, Config{Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opt.Metrics {
+		a := opt.Metrics[i].Outputs["checked"].(workloads.EvalReport)
+		b := ks.Metrics[i].Outputs["checked"].(workloads.EvalReport)
+		if a.Metrics["accuracy"] != b.Metrics["accuracy"] {
+			t.Fatalf("iteration %d: accuracy %v vs %v (Theorem 1 violated)",
+				i, a.Metrics["accuracy"], b.Metrics["accuracy"])
+		}
+	}
+}
+
+func TestRunSeriesStateCountsRecorded(t *testing.T) {
+	wl, _ := NewWorkload("census", tinyScale(), 1)
+	res, err := RunSeries(context.Background(), wl, HelixOpt, Config{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := res.Metrics[0]
+	if m0.States[core.StateCompute] == 0 {
+		t.Fatal("iteration 0 should compute nodes")
+	}
+	m1 := res.Metrics[1]
+	total := m1.States[core.StateCompute] + m1.States[core.StateLoad] + m1.States[core.StatePrune]
+	if total == 0 {
+		t.Fatal("iteration 1 recorded no states")
+	}
+	if m1.States[core.StatePrune] == 0 && m1.States[core.StateLoad] == 0 {
+		t.Fatal("iteration 1 should reuse something (load or prune)")
+	}
+}

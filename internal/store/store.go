@@ -1,0 +1,292 @@
+// Package store implements HELIX-Go's materialization store: the disk
+// layer where the execution engine persists selected intermediate results
+// (paper §2.1, "the execution engine selectively materializes intermediate
+// results to disk") and from which later iterations load equivalent
+// materializations (Definition 3).
+//
+// Entries are keyed by chain signature, so a stored result is by
+// construction only retrievable by an equivalent operator. Values are
+// gob-encoded. An optional simulated disk speed reproduces the paper's
+// 170 MB/s HDD environment on faster local storage; it is applied as a
+// sleep proportional to the byte count on both reads and writes.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry describes one materialized result.
+type Entry struct {
+	Key       string        `json:"key"`  // chain signature of the node
+	Name      string        `json:"name"` // node name (diagnostics only)
+	Size      int64         `json:"size"` // bytes on disk
+	WriteTime time.Duration `json:"write_time"`
+	Iteration int           `json:"iteration"` // iteration that produced it
+}
+
+// Store is a directory-backed materialization store. It is safe for
+// concurrent use.
+type Store struct {
+	// DiskBytesPerSec, when positive, simulates a disk with the given
+	// throughput by sleeping size/DiskBytesPerSec on each read and write —
+	// reproducing the paper's 170 MB/s HDD on faster media. Zero disables
+	// simulation (real I/O timing only).
+	DiskBytesPerSec float64
+
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// Register exposes gob.Register for value types stored through the store.
+func Register(v any) { gob.Register(v) }
+
+// Open opens (creating if needed) a store rooted at dir and loads its
+// manifest.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &Store{dir: dir, entries: make(map[string]Entry)}
+	manifest := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(manifest)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("store: decode manifest: %w", err)
+	}
+	for _, e := range entries {
+		s.entries[e.Key] = e
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".gob")
+}
+
+func (s *Store) throttle(size int64) {
+	if s.DiskBytesPerSec > 0 {
+		time.Sleep(time.Duration(float64(size) / s.DiskBytesPerSec * float64(time.Second)))
+	}
+}
+
+// Encode gob-encodes a value, returning its on-disk representation. Exposed
+// so callers can learn a result's size (for the OMP budget and load-time
+// estimate) before deciding to write it.
+func Encode(value any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&value); err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EstimateLoad predicts the time to load size bytes, per the paper's model
+// l_i = s_i / (disk read speed) (§5.3). With simulation disabled it assumes
+// a fast local disk at 1 GB/s plus a fixed 1ms seek.
+func (s *Store) EstimateLoad(size int64) time.Duration {
+	speed := s.DiskBytesPerSec
+	if speed <= 0 {
+		speed = 1 << 30
+	}
+	return time.Millisecond + time.Duration(float64(size)/speed*float64(time.Second))
+}
+
+// PutBytes writes pre-encoded bytes under key and records the entry. The
+// write is timed (including simulated disk delay); the measured duration is
+// stored in the entry and returned.
+func (s *Store) PutBytes(key, name string, data []byte, iteration int) (Entry, error) {
+	start := time.Now()
+	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
+		return Entry{}, fmt.Errorf("store: write %q: %w", key, err)
+	}
+	s.throttle(int64(len(data)))
+	e := Entry{
+		Key:       key,
+		Name:      name,
+		Size:      int64(len(data)),
+		WriteTime: time.Since(start),
+		Iteration: iteration,
+	}
+	s.mu.Lock()
+	s.entries[key] = e
+	s.mu.Unlock()
+	if err := s.flushManifest(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Put encodes and writes a value under key.
+func (s *Store) Put(key, name string, value any, iteration int) (Entry, error) {
+	data, err := Encode(value)
+	if err != nil {
+		return Entry{}, err
+	}
+	return s.PutBytes(key, name, data, iteration)
+}
+
+// Get loads and decodes the value stored under key, returning the value and
+// the measured load duration (including simulated disk delay).
+func (s *Store) Get(key string) (any, time.Duration, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("store: no entry for key %q", key)
+	}
+	start := time.Now()
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read %q: %w", key, err)
+	}
+	s.throttle(e.Size)
+	var value any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&value); err != nil {
+		return nil, 0, fmt.Errorf("store: decode %q: %w", key, err)
+	}
+	return value, time.Since(start), nil
+}
+
+// Has reports whether an entry exists for key — the engine's "equivalent
+// materialization" check (Definition 3).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Entry returns the metadata for key.
+func (s *Store) Entry(key string) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Delete removes the entry and its file. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	delete(s.entries, key)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %q: %w", key, err)
+	}
+	return s.flushManifest()
+}
+
+// Purge removes every entry for which keep returns false, returning the
+// bytes freed. Used to deprecate old results when operators change (paper
+// §6.6: "HELIX purges any previous materialization of original operators
+// prior to execution").
+func (s *Store) Purge(keep func(key string) bool) (freed int64, err error) {
+	// Snapshot first: keep may call back into the store (e.g. Entry), so it
+	// must run without s.mu held.
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	var doomed []string
+	for _, k := range keys {
+		if !keep(k) {
+			doomed = append(doomed, k)
+		}
+	}
+	s.mu.Lock()
+	var victims []Entry
+	for _, k := range doomed {
+		if e, ok := s.entries[k]; ok {
+			victims = append(victims, e)
+			delete(s.entries, k)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range victims {
+		freed += e.Size
+		if rmErr := os.Remove(s.path(e.Key)); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+			err = fmt.Errorf("store: purge %q: %w", e.Key, rmErr)
+		}
+	}
+	if ferr := s.flushManifest(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return freed, err
+}
+
+// UsedBytes reports the total size of stored entries.
+func (s *Store) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, e := range s.entries {
+		total += e.Size
+	}
+	return total
+}
+
+// Len reports the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Keys returns all stored keys, sorted (for deterministic iteration).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// flushManifest persists the entry table.
+func (s *Store) flushManifest() error {
+	s.mu.Lock()
+	entries := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, "manifest.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "manifest.json")); err != nil {
+		return fmt.Errorf("store: commit manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type payload struct {
+	Rows []string
+	N    int
+}
+
+func init() {
+	Register(payload{})
+	Register([]float64(nil))
+	Register(map[string]int(nil))
+}
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	want := payload{Rows: []string{"a", "b"}, N: 7}
+	if _, err := s.Put("k1", "rows", want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, dur, err := s.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Fatal("load duration not measured")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Get = %+v, want %+v", got, want)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := open(t)
+	if _, _, err := s.Get("nope"); err == nil {
+		t.Fatal("expected error for missing key")
+	}
+}
+
+func TestHasAndEntry(t *testing.T) {
+	s := open(t)
+	if s.Has("k") {
+		t.Fatal("Has on empty store")
+	}
+	e, err := s.Put("k", "node", payload{N: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("k") {
+		t.Fatal("Has after Put")
+	}
+	got, ok := s.Entry("k")
+	if !ok || got.Iteration != 3 || got.Size != e.Size || got.Name != "node" {
+		t.Fatalf("Entry = %+v, %v", got, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := open(t)
+	if _, err := s.Put("k", "n", payload{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") {
+		t.Fatal("entry survived delete")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal("deleting missing key should be a no-op")
+	}
+}
+
+func TestPurgeKeepsSelected(t *testing.T) {
+	s := open(t)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := s.Put(k, k, payload{N: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	freed, err := s.Purge(func(k string) bool { return k == "b" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed <= 0 {
+		t.Fatal("purge freed nothing")
+	}
+	if s.Len() != 1 || !s.Has("b") {
+		t.Fatalf("after purge: len=%d has(b)=%v", s.Len(), s.Has("b"))
+	}
+}
+
+func TestUsedBytesAndKeys(t *testing.T) {
+	s := open(t)
+	if s.UsedBytes() != 0 {
+		t.Fatal("fresh store has nonzero usage")
+	}
+	s.Put("z", "z", payload{Rows: []string{"xxxx"}}, 0)
+	s.Put("a", "a", payload{Rows: []string{"yyyy"}}, 0)
+	if s.UsedBytes() <= 0 {
+		t.Fatal("usage not tracked")
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "z" {
+		t.Fatalf("Keys = %v, want sorted [a z]", keys)
+	}
+}
+
+func TestManifestPersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put("k", "n", payload{N: 42}, 5); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s2.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(payload).N != 42 {
+		t.Fatalf("reopened value = %+v", got)
+	}
+	e, _ := s2.Entry("k")
+	if e.Iteration != 5 {
+		t.Fatalf("iteration lost on reopen: %d", e.Iteration)
+	}
+}
+
+func TestCorruptedFileReturnsError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("k", "n", payload{N: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk (failure injection: engine must fall back
+	// to recomputation when a load fails).
+	if err := os.WriteFile(filepath.Join(dir, "k.gob"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("expected decode error for corrupted file")
+	}
+}
+
+func TestSimulatedDiskSlowsIO(t *testing.T) {
+	s := open(t)
+	data := make([]float64, 1<<14) // ≈128 KiB encoded
+	for i := range data {
+		data[i] = 0.1 + float64(i) // non-zero: gob varint-compresses zeros
+	}
+	s.DiskBytesPerSec = 1 << 20 // 1 MiB/s: ~130ms for this payload
+	start := time.Now()
+	if _, err := s.Put("k", "n", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("simulated disk not throttling writes: %v", elapsed)
+	}
+	start = time.Now()
+	if _, _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("simulated disk not throttling reads: %v", elapsed)
+	}
+}
+
+func TestEstimateLoadMonotonic(t *testing.T) {
+	s := open(t)
+	s.DiskBytesPerSec = 170 << 20 // the paper's HDD
+	small := s.EstimateLoad(1 << 10)
+	big := s.EstimateLoad(1 << 30)
+	if big <= small {
+		t.Fatalf("EstimateLoad not monotonic: %v vs %v", small, big)
+	}
+	// 1 GiB at 170 MiB/s ≈ 6s.
+	if big < 5*time.Second || big > 8*time.Second {
+		t.Fatalf("EstimateLoad(1GiB) = %v, want ≈6s", big)
+	}
+}
+
+// TestQuickRoundTrip: arbitrary string-keyed maps survive the store.
+func TestQuickRoundTrip(t *testing.T) {
+	s := open(t)
+	i := 0
+	f := func(m map[string]int) bool {
+		i++
+		key := string(rune('a'+i%26)) + "-roundtrip"
+		if m == nil {
+			m = map[string]int{}
+		}
+		if _, err := s.Put(key, "m", m, 0); err != nil {
+			return false
+		}
+		got, _, err := s.Get(key)
+		if err != nil {
+			return false
+		}
+		gm := got.(map[string]int)
+		if len(gm) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			if gm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

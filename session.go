@@ -1,0 +1,236 @@
+package helix
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"helix/internal/core"
+	"helix/internal/exec"
+	"helix/internal/opt"
+	"helix/internal/store"
+)
+
+// Result reports one iteration's execution: output values, per-node
+// states and timings, component breakdown (Figure 6), materialization
+// overhead, storage and memory statistics.
+type Result = exec.Result
+
+// NodeReport is the per-operator outcome within a Result.
+type NodeReport = exec.NodeReport
+
+// Policy selects the materialization strategy (paper §6.1's system
+// variants).
+type Policy int
+
+const (
+	// PolicyOpt is HELIX OPT: the streaming OMP heuristic (Algorithm 2).
+	PolicyOpt Policy = iota
+	// PolicyAlways is HELIX AM: materialize every intermediate result.
+	PolicyAlways
+	// PolicyNever is HELIX NM: never materialize intermediates.
+	PolicyNever
+	// PolicyOptMiniBatch adapts the streaming heuristic to mini-batch
+	// stream processing (paper §5.3, "Mini-Batches"): materialization
+	// decisions are made from the first batch processed end-to-end and
+	// replayed for every subsequent batch, avoiding dataset fragmentation.
+	PolicyOptMiniBatch
+	// PolicyOptAmortized extends the streaming heuristic with the paper's
+	// future-work user model (§5.3): materialization payoff is weighted
+	// by the survey-derived probability that the operator survives the
+	// next iteration's change. Set Options.Domain to select the change
+	// distribution.
+	PolicyOptAmortized
+)
+
+// Options configures a Session.
+type Options struct {
+	// Policy selects the materialization strategy. Default PolicyOpt.
+	Policy Policy
+	// StorageBudget caps materialized bytes for PolicyOpt; ≤0 means the
+	// paper's default of 10 GB (§6.3).
+	StorageBudget int64
+	// OMPThreshold overrides Algorithm 2's load-cost multiplier for
+	// PolicyOpt; 0 means the paper's value of 2. Exposed for the ablation
+	// benchmark.
+	OMPThreshold float64
+	// Domain selects the change-probability distribution for
+	// PolicyOptAmortized ("census", "nlp", "genomics", "mnist").
+	Domain string
+	// DisableReuse turns off cross-iteration reuse (the KeystoneML and
+	// DeepDive baselines do not reuse automatically).
+	DisableReuse bool
+	// DisablePruning turns off program slicing (ablation).
+	DisablePruning bool
+	// SampleMemory enables heap sampling for Figure 10.
+	SampleMemory bool
+	// DPRSlowdown multiplies DPR operator cost (models DeepDive's
+	// Python/shell preprocessing; §6.5.2). 0 or 1 disables.
+	DPRSlowdown float64
+	// LISlowdown multiplies L/I operator cost (models KeystoneML's
+	// training-data caching miss; §6.5.2). 0 or 1 disables.
+	LISlowdown float64
+	// DiskBytesPerSec simulates a disk with the given throughput for
+	// loads and writes; 0 uses real disk speed. The paper's environment
+	// is 170 MB/s (§6.3).
+	DiskBytesPerSec float64
+}
+
+// DefaultStorageBudget is the paper's experimental storage budget (§6.3).
+const DefaultStorageBudget = 10 << 30
+
+// Session executes successive iterations of a workflow, carrying the
+// previous iteration's DAG and materialization store across runs — the
+// workflow lifecycle of Figure 2. Sessions persist their change-tracking
+// state (node signatures and operator statistics) next to the store, so
+// reopening a session on the same directory resumes reuse across process
+// restarts.
+type Session struct {
+	store   *store.Store
+	engine  *exec.Engine
+	dir     string
+	prev    *core.DAG
+	iter    int
+	history []IterationRecord
+}
+
+// sessionStateFile holds the persisted snapshot within the store dir.
+const sessionStateFile = "session.json"
+
+// sessionState is the on-disk session record.
+type sessionState struct {
+	Iteration int           `json:"iteration"`
+	Snapshot  core.Snapshot `json:"snapshot"`
+}
+
+// NewSession opens a session whose materialization store lives in dir.
+// If the directory holds a previous session's state, change tracking
+// resumes from it: unchanged operators can reuse results materialized
+// before the restart.
+func NewSession(dir string, options ...Options) (*Session, error) {
+	var o Options
+	if len(options) > 1 {
+		return nil, fmt.Errorf("helix: at most one Options value")
+	}
+	if len(options) == 1 {
+		o = options[0]
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	st.DiskBytesPerSec = o.DiskBytesPerSec
+	budget := o.StorageBudget
+	if budget <= 0 {
+		budget = DefaultStorageBudget
+	}
+	var pol opt.MatPolicy
+	switch o.Policy {
+	case PolicyOpt:
+		somp := opt.NewStreamingOMP(budget)
+		if o.OMPThreshold > 0 {
+			somp.Threshold = o.OMPThreshold
+		}
+		pol = somp
+	case PolicyAlways:
+		pol = opt.AlwaysMat{}
+	case PolicyNever:
+		pol = opt.NeverMat{}
+	case PolicyOptMiniBatch:
+		somp := opt.NewStreamingOMP(budget)
+		if o.OMPThreshold > 0 {
+			somp.Threshold = o.OMPThreshold
+		}
+		pol = opt.NewMiniBatchOMP(somp)
+	case PolicyOptAmortized:
+		aomp := opt.NewAmortizedOMP(opt.SurveyChangeModel(o.Domain), budget)
+		if o.OMPThreshold > 0 {
+			aomp.Threshold = o.OMPThreshold
+		}
+		pol = aomp
+	default:
+		return nil, fmt.Errorf("helix: unknown policy %d", o.Policy)
+	}
+	eng := &exec.Engine{
+		Store: st,
+		Opts: exec.Options{
+			Policy:             pol,
+			DisableReuse:       o.DisableReuse,
+			MaterializeOutputs: o.Policy != PolicyNever,
+			DPRSlowdown:        o.DPRSlowdown,
+			LISlowdown:         o.LISlowdown,
+			SampleMemory:       o.SampleMemory,
+			DisablePruning:     o.DisablePruning,
+		},
+	}
+	s := &Session{store: st, engine: eng, dir: dir}
+	s.loadState()
+	return s, nil
+}
+
+// loadState restores persisted change-tracking state; absence or
+// corruption silently degrades to a fresh session (everything original).
+func (s *Session) loadState() {
+	data, err := os.ReadFile(filepath.Join(s.dir, sessionStateFile))
+	if err != nil {
+		return
+	}
+	var st sessionState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return
+	}
+	s.iter = st.Iteration
+	s.prev = core.FromSnapshot(st.Snapshot)
+}
+
+// saveState persists change-tracking state for restart resumption. A
+// failed write is non-fatal: the next process simply recomputes.
+func (s *Session) saveState() {
+	if s.prev == nil {
+		return
+	}
+	st := sessionState{Iteration: s.iter, Snapshot: s.prev.Snapshot()}
+	data, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(s.dir, sessionStateFile), data, 0o644)
+}
+
+// Iteration returns the index of the next iteration to run (0-based).
+func (s *Session) Iteration() int { return s.iter }
+
+// StorageBytes reports the store's current on-disk usage (Figure 9c,d).
+func (s *Session) StorageBytes() int64 { return s.store.UsedBytes() }
+
+// Run compiles and executes one iteration of wf, then advances the
+// session: the executed DAG becomes the previous iteration for change
+// tracking on the next Run (paper §2.2: "The updated workflow W_{t+1}
+// fed back to HELIX marks the beginning of a new iteration").
+func (s *Session) Run(ctx context.Context, wf *Workflow) (*Result, error) {
+	prog, err := wf.Compile()
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+	res, err := s.engine.Run(ctx, prog, s.prev, s.iter)
+	if err != nil {
+		return nil, err
+	}
+	s.recordHistory(wf, res, started, changedOperators(prog.DAG, s.prev))
+	s.prev = prog.DAG
+	s.iter++
+	s.saveState()
+	return res, nil
+}
+
+// RunTimed is Run plus a convenience wall-clock duration, for harness
+// code that aggregates cumulative run time (Figure 5).
+func (s *Session) RunTimed(ctx context.Context, wf *Workflow) (*Result, time.Duration, error) {
+	start := time.Now()
+	res, err := s.Run(ctx, wf)
+	return res, time.Since(start), err
+}
