@@ -9,7 +9,7 @@
 //	helixbench -exp table2              # use-case support matrix
 //
 // Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9,
-// fig10, ablation, headline, all.
+// fig10, ablation, writebehind, headline, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|headline|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|writebehind|headline|all)")
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	cost := flag.Int("cost", 40, "NLP parse cost factor")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -98,6 +98,11 @@ func main() {
 	}
 	if run("ablation") {
 		r, err := bench.Ablations(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("writebehind") {
+		r, err := bench.WriteBehind(ctx, cfg)
 		fail(err)
 		fmt.Print(r.String())
 	}

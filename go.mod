@@ -1,0 +1,3 @@
+module helix
+
+go 1.24

@@ -208,7 +208,12 @@ func TestFig9PolicyOrdering(t *testing.T) {
 	}
 	for _, wl := range []string{"census", "genomics"} {
 		st := r.FinalStorage(wl)
-		if st["helix-am"] <= st["helix-opt"] {
+		// AM materializes a superset of what OPT does, so AM < OPT is always
+		// a violation. The strict gap additionally requires OPT to decline
+		// something; under the race detector, inflated compute times tip the
+		// cost model into accepting every node, so equality is legitimate
+		// there and only asserted in unraced runs.
+		if st["helix-am"] < st["helix-opt"] || (!raceEnabled && st["helix-am"] == st["helix-opt"]) {
 			t.Errorf("%s: AM storage %d ≤ OPT storage %d", wl, st["helix-am"], st["helix-opt"])
 		}
 		if st["helix-nm"] != 0 {

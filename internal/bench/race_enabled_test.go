@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the test binary was built with -race. The
+// detector inflates compute times several-fold, which shifts the cost
+// model's compute/load balance; timing-sensitive figure assertions
+// loosen accordingly.
+const raceEnabled = true

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"helix/internal/sim"
+)
+
+// WriteBehindResult is the A/B comparison behind the write-behind
+// materialization pipeline: the same materialization-heavy workload run
+// with inline (write-through) materialization versus the write-behind
+// writer pool. Sync pays serialize+write on the critical path of every
+// retiring node; async overlaps it with computation, so the comparison
+// isolates exactly how much of the materialization bill leaves
+// wall-clock time.
+type WriteBehindResult struct {
+	Workload string
+	// SyncWall / AsyncWall are cumulative wall-clock seconds across the
+	// iteration series for each mode.
+	SyncWall, AsyncWall float64
+	// SyncMat / AsyncMat are cumulative serialize+write seconds — the
+	// accounting stays honest in both modes, only its placement changes.
+	SyncMat, AsyncMat float64
+	// AsyncFlush is the cumulative post-compute wait for write-behind
+	// stragglers at each iteration's flush barrier.
+	AsyncFlush float64
+}
+
+// SavedFraction reports what fraction of sync mode's materialization time
+// the async pipeline removed from the caller-observable critical path:
+// (sync − (async + flush)) / syncMat. The flush-barrier wait counts
+// against async — Session.Run blocks there before returning, so it is
+// latency the user still pays. Values near 1 mean materialization fully
+// left the critical path.
+func (r *WriteBehindResult) SavedFraction() float64 {
+	if r.SyncMat <= 0 {
+		return 0
+	}
+	return (r.SyncWall - r.AsyncWall - r.AsyncFlush) / r.SyncMat
+}
+
+// WriteBehind runs the A/B comparison on the census workload under the
+// always-materialize policy — the most materialization-heavy
+// configuration the evaluation has (every intermediate is serialized and
+// written, paper §6.6) — once per mode, on separate stores.
+func WriteBehind(ctx context.Context, cfg Config) (*WriteBehindResult, error) {
+	out := &WriteBehindResult{Workload: "census"}
+	for _, mode := range []sim.MatMode{sim.MatSync, sim.MatAsync} {
+		wl, err := sim.NewWorkload(out.Workload, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunSeries(ctx, wl, sim.HelixAM, sim.Config{
+			Iterations: cfg.Iterations,
+			Mat:        mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var wall, mat, flush float64
+		for _, m := range res.Metrics {
+			wall += m.Seconds
+			mat += m.MatSeconds
+			flush += m.FlushSeconds
+		}
+		if mode == sim.MatSync {
+			out.SyncWall, out.SyncMat = wall, mat
+		} else {
+			out.AsyncWall, out.AsyncMat = wall, mat
+			out.AsyncFlush = flush
+		}
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r *WriteBehindResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Write-behind materialization — %s / helix-am\n", r.Workload)
+	fmt.Fprintf(&b, "%-28s %10s %10s\n", "", "sync", "async")
+	fmt.Fprintf(&b, "%-28s %10.3f %10.3f\n", "wall-clock (s)", r.SyncWall, r.AsyncWall)
+	fmt.Fprintf(&b, "%-28s %10.3f %10.3f\n", "serialize+write (s)", r.SyncMat, r.AsyncMat)
+	fmt.Fprintf(&b, "%-28s %10s %10.3f\n", "flush-barrier wait (s)", "-", r.AsyncFlush)
+	fmt.Fprintf(&b, "materialization removed from wall-clock: %.0f%%\n", 100*r.SavedFraction())
+	return b.String()
+}

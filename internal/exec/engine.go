@@ -5,6 +5,23 @@
 // consulting the materialization policy whenever an intermediate result
 // goes out of scope (Definition 5), and evicting out-of-scope results from
 // the in-memory cache eagerly (§5.4, cache pruning).
+//
+// # Write-behind materialization
+//
+// By default materialization is write-behind: when a node goes out of
+// scope, retire() hands the value to the store's bounded background
+// writer pool (store.PutAsync) and computation proceeds immediately;
+// gob-encoding, the size-dependent policy check, the disk write, and the
+// manifest update all happen off the critical path. Run drains the pool
+// with a store.Flush barrier after the last node finishes, before the
+// Result is assembled — so Result.MatTime still reports the full
+// serialize+write cost, cross-iteration reuse observes every accepted
+// materialization, and the manifest is current when Run returns.
+// Result.Wall covers only the compute critical path; the (mostly
+// overlapped) tail spent waiting at the barrier is reported separately as
+// Result.FlushWait. Options.SyncMaterialization restores the historical
+// inline behavior — serialize and write on the worker goroutine that
+// computed the value — for A/B comparison in internal/bench.
 package exec
 
 import (
@@ -63,6 +80,11 @@ type Options struct {
 	SampleMemory bool
 	// DisablePruning turns off program slicing (ablation).
 	DisablePruning bool
+	// SyncMaterialization disables write-behind: retire() serializes and
+	// writes inline on the worker goroutine, putting the full
+	// materialization cost back on the critical path. Kept as an escape
+	// hatch and for A/B benchmarking against the async default.
+	SyncMaterialization bool
 }
 
 // NodeReport is the per-node outcome of a run.
@@ -81,8 +103,17 @@ type Result struct {
 	Values map[string]any
 	// Nodes reports per-node state and timing, keyed by node name.
 	Nodes map[string]NodeReport
-	// Wall is the end-to-end wall-clock duration of the run.
+	// Wall is the wall-clock duration of the run's compute critical path:
+	// from Run entry until the last node finished. With write-behind
+	// materialization (the default) background writes overlap computation
+	// and are excluded; the residual wait for stragglers is FlushWait.
+	// With SyncMaterialization, Wall includes all materialization time,
+	// as the paper measures.
 	Wall time.Duration
+	// FlushWait is the time Run spent blocked at the store's Flush
+	// barrier after computation finished, waiting for write-behind
+	// stragglers. Zero under SyncMaterialization.
+	FlushWait time.Duration
 	// Breakdown sums node times by workflow component (Figure 6).
 	Breakdown map[core.Component]time.Duration
 	// MatTime is the total time spent materializing results (Figure 6, gray).
@@ -116,12 +147,18 @@ func New(st *store.Store, budget int64) *Engine {
 
 // nodeRun is the mutable per-node execution record.
 type nodeRun struct {
-	node    *core.Node
-	fn      OpFunc
-	state   core.State
-	done    chan struct{}
-	value   any
-	err     error
+	node  *core.Node
+	fn    OpFunc
+	state core.State
+	done  chan struct{}
+	// valMu orders post-completion accesses to value: eviction (retire
+	// setting it nil, possibly from another node's goroutine) versus the
+	// load-failure fallback reading it. The owner's pre-close write and
+	// child-input reads need no lock — they are ordered by the done
+	// channel and the pending counter respectively.
+	valMu sync.Mutex
+	value any
+	err   error
 	ownSecs float64
 	matSecs float64
 	bytes   int64
@@ -264,6 +301,22 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 		}(r)
 	}
 	wg.Wait()
+	computeWall := time.Since(start)
+
+	// Write-behind barrier: wait for every materialization handed to the
+	// store's writer pool before touching per-node accounting or letting
+	// the caller observe the store. Runs on the error paths too, so a
+	// failed iteration still quiesces its background writes. The flush
+	// error is deliberately discarded: a failed write degrades to "not
+	// materialized" exactly as the sync path does (retireSync ignores
+	// PutBytes errors), keeping the two modes' failure semantics
+	// identical for A/B comparison.
+	var flushWait time.Duration
+	if !e.Opts.SyncMaterialization {
+		flushStart := time.Now()
+		_ = e.Store.Flush()
+		flushWait = time.Since(flushStart)
+	}
 
 	var firstErr error
 	for _, n := range d.Nodes() {
@@ -309,7 +362,8 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 		res.PeakMemBytes, res.AvgMemBytes = sampler.stop()
 	}
 	res.StorageBytes = e.Store.UsedBytes()
-	res.Wall = time.Since(start)
+	res.Wall = computeWall
+	res.FlushWait = flushWait
 	return res, nil
 }
 
@@ -321,8 +375,24 @@ type runState struct {
 	iteration int
 	cancel    context.CancelFunc
 
-	// fallbackMu guards recursive recomputation after load failures.
+	// fallbackMu serializes concurrent recursive recomputations after
+	// load failures (value accesses are guarded per-run by valMu, so this
+	// is only about not duplicating recomputation work).
 	fallbackMu sync.Mutex
+}
+
+// evict drops a run's in-memory value (eager cache pruning, §5.4) under
+// the run's own valMu. Ordinary child reads of r.value are ordered by
+// the pending counter protocol — a parent cannot retire until every
+// computing child has read its inputs — but the load-failure fallback
+// reads finished runs' values from an unrelated goroutine, so eviction
+// must synchronize with it. The lock is per-run and held for one store:
+// retirements on the hot path never contend with each other or with an
+// in-flight recomputation's user code.
+func (s *runState) evict(r *nodeRun) {
+	r.valMu.Lock()
+	r.value = nil
+	r.valMu.Unlock()
 }
 
 // execNode runs a single node to completion: waits for computed parents,
@@ -424,7 +494,7 @@ func (s *runState) retire(r *nodeRun) {
 		// Loaded results are already on disk: just release the cache
 		// reference. Pruned nodes have no value.
 		if r.state == core.StateLoad && !s.outputs[n] {
-			r.value = nil
+			s.evict(r)
 		}
 		return
 	}
@@ -436,16 +506,55 @@ func (s *runState) retire(r *nodeRun) {
 		// blind ones (HELIX AM, DeepDive) pay for it — the paper's reason
 		// AM fails to finish MNIST (§6.6). Evict unless it is an output.
 		if !s.outputs[n] {
-			r.value = nil
+			s.evict(r)
 		}
 		return
 	}
 	key := n.ChainSignature()
 	if e.Store.Has(key) {
-		return // equivalent result already materialized
+		// Equivalent result already materialized: nothing to write, but
+		// eager cache pruning (§5.4) still applies.
+		if !s.outputs[n] {
+			s.evict(r)
+		}
+		return
 	}
 
 	mandatory := e.Opts.MaterializeOutputs && s.outputs[n]
+	// Cumulative run time C(n) per Definition 6, the policy's payoff input.
+	// An ancestor's time is read only after observing its done channel
+	// closed (ownSecs is written before the deferred close, so the read is
+	// ordered after the write). The done-gate is load-bearing: a loaded
+	// node closes its done channel without waiting for its own parents, so
+	// an ancestor reachable only through a StateLoad node can still be
+	// executing when n retires — its unfinished time is simply not part of
+	// this chain's bill. Computed here, on the retiring goroutine, so the
+	// write-behind path can capture a finished value.
+	var cum float64
+	if !mandatory {
+		cum = r.ownSecs
+		for anc := range core.Ancestors(n) {
+			if ar := s.runs[anc]; ar != nil {
+				select {
+				case <-ar.done:
+					cum += ar.ownSecs
+				default:
+				}
+			}
+		}
+	}
+	if e.Opts.SyncMaterialization {
+		s.retireSync(r, key, mandatory, cum)
+	} else {
+		s.retireAsync(r, key, mandatory, cum)
+	}
+}
+
+// retireSync is the historical inline path: serialize and write on the
+// retiring goroutine, charging the full cost to the critical path.
+func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float64) {
+	e := s.engine
+	n := r.node
 	var decided, encoded bool
 	var data []byte
 	size := int64(-1)
@@ -453,17 +562,6 @@ func (s *runState) retire(r *nodeRun) {
 		size = sz.ApproxBytes()
 	}
 	if !mandatory {
-		// Cumulative run time C(n) per Definition 6. Only n and its
-		// ancestors are read: they are all complete by now (n waited on
-		// its parents, transitively), so the reads are ordered after the
-		// writes via the done-channel chain. Other nodes may still be
-		// executing and must not be touched.
-		cum := r.ownSecs
-		for anc := range core.Ancestors(n) {
-			if ar := s.runs[anc]; ar != nil {
-				cum += ar.ownSecs
-			}
-		}
 		if size < 0 {
 			// No cheap size available: serialize to learn it. The encode
 			// time is charged as materialization overhead.
@@ -482,7 +580,7 @@ func (s *runState) retire(r *nodeRun) {
 	}
 	if !mandatory && !decided {
 		if !s.outputs[n] {
-			r.value = nil // evict; outputs keep their value for Result
+			s.evict(r) // outputs keep their value for Result
 		}
 		return
 	}
@@ -504,7 +602,59 @@ func (s *runState) retire(r *nodeRun) {
 	n.Metrics.Size = ent.Size
 	n.Metrics.Load = e.Store.EstimateLoad(ent.Size)
 	if !s.outputs[n] {
-		r.value = nil
+		s.evict(r)
+	}
+}
+
+// retireAsync is the write-behind path: hand the value to the store's
+// writer pool and return immediately, so the nodes waiting on this
+// goroutine's done channel are not held behind serialization or disk.
+// Values that can report their size cheaply (Sizer) get their policy
+// decision inline — skipping the enqueue entirely on a "no" — while the
+// rest defer the decision to the writer goroutine, which learns the size
+// by encoding there. The OnDone callback's writes to the nodeRun and node
+// metrics are published to Run by the store.Flush barrier.
+func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float64) {
+	e := s.engine
+	n := r.node
+	isOutput := s.outputs[n]
+	req := store.WriteRequest{
+		Key:       key,
+		Name:      n.Name,
+		Iteration: s.iteration,
+		Value:     r.value,
+	}
+	if !mandatory {
+		if sz, ok := r.value.(Sizer); ok {
+			size := sz.ApproxBytes()
+			load := e.Store.EstimateLoad(size).Seconds()
+			if e.Opts.Policy == nil || !e.Opts.Policy.Decide(n, cum, load, size) {
+				if !isOutput {
+					s.evict(r)
+				}
+				return
+			}
+		} else {
+			req.Decide = func(size int64) bool {
+				load := e.Store.EstimateLoad(size).Seconds()
+				return e.Opts.Policy != nil && e.Opts.Policy.Decide(n, cum, load, size)
+			}
+		}
+	}
+	req.OnDone = func(out store.WriteOutcome) {
+		// Runs on a writer goroutine; Run reads these after Flush.
+		r.matSecs += out.Secs
+		if out.Written {
+			r.bytes = out.Entry.Size
+			n.Metrics.Size = out.Entry.Size
+			n.Metrics.Load = e.Store.EstimateLoad(out.Entry.Size)
+		}
+	}
+	e.Store.PutAsync(req)
+	if !isOutput {
+		// Eager cache pruning still applies: the writer pool now holds the
+		// only reference needed for the pending write.
+		s.evict(r)
 	}
 }
 
@@ -524,9 +674,14 @@ func (s *runState) recomputeLocked(ctx context.Context, n *core.Node, memo map[*
 	if r := s.runs[n]; r != nil {
 		select {
 		case <-r.done:
-			if r.err == nil && r.value != nil {
-				memo[n] = r.value
-				return r.value, nil
+			if r.err == nil {
+				r.valMu.Lock()
+				v := r.value
+				r.valMu.Unlock()
+				if v != nil {
+					memo[n] = v
+					return v, nil
+				}
 			}
 		default:
 		}

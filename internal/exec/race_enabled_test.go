@@ -1,0 +1,9 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports that the test binary was built with -race. The
+// detector multiplies the cost of instrumented work (gob encoding, the
+// payload-fill loops) and serializes goroutines, distorting the timing
+// ratios the write-behind acceptance test asserts.
+const raceEnabled = true

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"helix/internal/core"
+	"helix/internal/opt"
+	"helix/internal/store"
+)
+
+func init() {
+	store.Register([]float64(nil))
+}
+
+// chainProgram builds a linear chain of n nodes, each sleeping compute
+// per step and emitting a fresh ~payloadFloats·8-byte slice. A linear
+// chain puts every materialization on the critical path in sync mode:
+// node i's write happens on the goroutine of node i+1 before i+1's done
+// channel closes, so node i+2 cannot start until the write finishes.
+// Payload values are reciprocals so every mantissa is fully populated —
+// gob trims trailing zero bytes of the byte-reversed float encoding, and
+// integer-valued floats would encode to a fraction of their in-memory
+// size, starving the simulated disk of the load this test relies on.
+func chainProgram(n int, compute time.Duration, payloadFloats int) *Program {
+	d := core.NewDAG()
+	fns := make(map[*core.Node]OpFunc, n)
+	var prev *core.Node
+	for i := 0; i < n; i++ {
+		node := d.MustAddNode(fmt.Sprintf("n%02d", i), core.KindExtractor, core.DPR, fmt.Sprintf("v%02d", i), true)
+		if prev != nil {
+			mustEdge(d, prev, node)
+		}
+		fns[node] = func(ctx context.Context, in []any) (any, error) {
+			time.Sleep(compute)
+			out := make([]float64, payloadFloats)
+			for j := range out {
+				out[j] = 1 / float64(i*payloadFloats+j+1)
+			}
+			return out, nil
+		}
+		prev = node
+	}
+	d.MarkOutput(prev)
+	return &Program{DAG: d, Fns: fns}
+}
+
+func runChain(t *testing.T, sync bool) *Result {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.DiskBytesPerSec = 8 << 20 // 8 MiB/s simulated disk: ~72ms per write
+	// One writer per node: the throttle is a sleep, so all 8 background
+	// writes overlap fully and the flush barrier waits roughly one write,
+	// not a queue of them.
+	st.Writers = 8
+	e := &Engine{Store: st, Opts: Options{
+		Policy:              opt.AlwaysMat{},
+		MaterializeOutputs:  true,
+		SyncMaterialization: sync,
+	}}
+	prog := chainProgram(8, 5*time.Millisecond, 1<<16) // ~512 KiB encoded each
+	res, err := e.Run(context.Background(), prog, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Len(); got != 8 {
+		t.Fatalf("sync=%v stored %d entries, want 8", sync, got)
+	}
+	return res
+}
+
+// TestWriteBehindExcludesMatFromWall is the PR's acceptance criterion: on
+// a materialization-heavy chain, write-behind wall-clock must exclude at
+// least 80% of the serialize+write time that sync mode pays on the
+// critical path, while MatTime accounting stays honest in both modes.
+func TestWriteBehindExcludesMatFromWall(t *testing.T) {
+	syncRes := runChain(t, true)
+	asyncRes := runChain(t, false)
+
+	// Sanity: the workload is actually materialization-heavy — the
+	// simulated disk alone costs 8 × ~64ms.
+	if syncRes.MatTime < 400*time.Millisecond {
+		t.Fatalf("sync MatTime = %v, workload not materialization-heavy", syncRes.MatTime)
+	}
+	// Accounting stays honest: async still reports the serialize+write
+	// bill (the simulated-disk sleeps are identical in both modes).
+	if asyncRes.MatTime < syncRes.MatTime/2 {
+		t.Errorf("async MatTime = %v vs sync %v: materialization cost unaccounted", asyncRes.MatTime, syncRes.MatTime)
+	}
+	// The criterion: async end-to-end latency — compute wall plus the
+	// flush-barrier wait Run blocks on — excludes ≥80% of sync's
+	// materialization bill. Under the race detector the instrumented
+	// encode work runs several times slower and contends with the compute
+	// chain and with other packages' tests on the same box, so the raced
+	// bar drops to 40% — still a firm "the pool overlaps most of the
+	// bill" check — while the strict bound is enforced by every unraced
+	// (tier-1) run.
+	threshold := 0.8
+	if raceEnabled {
+		threshold = 0.4
+	}
+	excluded := syncRes.Wall - (asyncRes.Wall + asyncRes.FlushWait)
+	if min := time.Duration(threshold * float64(syncRes.MatTime)); excluded < min {
+		t.Errorf("write-behind excluded only %v of %v materialization (want ≥ %v); sync wall %v, async wall %v + flush %v",
+			excluded, syncRes.MatTime, min, syncRes.Wall, asyncRes.Wall, asyncRes.FlushWait)
+	}
+	if syncRes.FlushWait != 0 {
+		t.Errorf("sync run reported FlushWait %v", syncRes.FlushWait)
+	}
+}
+
+// TestFlushMakesRunNVisibleToRunN1 is the flush-semantics contract: an
+// iteration run immediately after its predecessor must observe every
+// materialization the policy accepted — no reuse lost to unflushed
+// write-behind writes.
+func TestFlushMakesRunNVisibleToRunN1(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Store: st, Opts: Options{Policy: opt.AlwaysMat{}, MaterializeOutputs: true}}
+	ctx := context.Background()
+	var c counters
+	prog := testProgram(&c)
+	if _, err := e.Run(ctx, prog, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Back-to-back rerun: every node must load or prune; a single compute
+	// means a write accepted in run N had not landed by planning time.
+	var c2 counters
+	prog2 := testProgram(&c2)
+	res, err := e.Run(ctx, prog2, prog.DAG, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.source.Load() + c2.extract.Load() + c2.learn.Load() + c2.check.Load(); got != 0 {
+		t.Fatalf("iteration N+1 recomputed %d operators: write-behind results not flushed", got)
+	}
+	if res.StateCounts[core.StateCompute] != 0 {
+		t.Fatalf("iteration N+1 states: %v, want no computes", res.StateCounts)
+	}
+}
+
+// TestLoadFailureRecoversWithAsyncWritesInFlight deletes a materialized
+// blob behind the manifest's back and asserts the engine's recompute()
+// fallback transparently recovers during a run whose own write-behind
+// materializations are concurrently in flight.
+func TestLoadFailureRecoversWithAsyncWritesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Store: st, Opts: Options{Policy: opt.AlwaysMat{}, MaterializeOutputs: true}}
+	ctx := context.Background()
+	var c counters
+	prog := testProgram(&c)
+	if _, err := e.Run(ctx, prog, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove extract's blob only — the manifest still advertises it, so
+	// the next plan schedules a Load that is doomed to fail.
+	extKey := prog.DAG.Node("extract").ChainSignature()
+	if !st.Has(extKey) {
+		t.Fatal("extract not materialized in iteration 0")
+	}
+	if err := os.Remove(filepath.Join(dir, extKey+".gob")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Change the learner: learn/check recompute and re-materialize via
+	// the writer pool while extract's failed load falls back to
+	// recomputation on the same run.
+	var c2 counters
+	prog2 := testProgram(&c2)
+	lrn := prog2.DAG.Node("learn")
+	lrn.OpSignature = "lrn-v2"
+	prog2.Fns[lrn] = func(ctx context.Context, in []any) (any, error) {
+		c2.learn.Add(1)
+		return in[0].(int) * 20, nil
+	}
+	res, err := e.Run(ctx, prog2, prog.DAG, 1)
+	if err != nil {
+		t.Fatalf("load-failure fallback errored: %v", err)
+	}
+	if got := res.Values["check"]; got != 0.6 {
+		t.Fatalf("recovered output = %v, want 0.6", got)
+	}
+	if c2.extract.Load() == 0 {
+		t.Fatal("extract was not recomputed despite its blob being gone")
+	}
+	// The run's own async writes all landed before Run returned.
+	newLearnKey := prog2.DAG.Node("learn").ChainSignature()
+	if !st.Has(newLearnKey) {
+		t.Fatal("changed learner's materialization missing after Run")
+	}
+	if _, _, err := st.Get(newLearnKey); err != nil {
+		t.Fatalf("changed learner's blob unreadable: %v", err)
+	}
+}
+
+// TestAsyncPreservesBudgetedPolicy: the deferred Decide path must still
+// respect a budgeted streaming-OMP policy when called from writer
+// goroutines — no over-reservation, no lost release accounting.
+func TestAsyncPreservesBudgetedPolicy(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := opt.NewStreamingOMP(64 << 10)
+	e := &Engine{Store: st, Opts: Options{Policy: policy, MaterializeOutputs: true}}
+	ctx := context.Background()
+	var c counters
+	prog := testProgram(&c)
+	if _, err := e.Run(ctx, prog, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	reserved := int64(64<<10) - policy.Remaining()
+	// Mandatory outputs bypass the policy and reserve nothing (seed
+	// semantics); every policy-accepted entry must be covered by a
+	// reservation made on the writer goroutine.
+	var policyBytes int64
+	for _, key := range st.Keys() {
+		if ent, ok := st.Entry(key); ok && ent.Name != "check" {
+			policyBytes += ent.Size
+		}
+	}
+	if policyBytes == 0 {
+		t.Fatal("policy accepted nothing; test needs a materialization-worthy chain")
+	}
+	if reserved < policyBytes {
+		t.Fatalf("budget reserved %d < policy-accepted bytes %d: writer-side Decide skipped reservation", reserved, policyBytes)
+	}
+}

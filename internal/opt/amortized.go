@@ -65,7 +65,10 @@ func (m ChangeModel) ReuseProbability(n *core.Node) float64 {
 
 // AmortizedOMP extends the streaming heuristic with the change model:
 // materialize iff expected payoff p(reuse)·C(n) exceeds the write+load
-// cost. With p(reuse)=1 it reduces exactly to Algorithm 2.
+// cost. With p(reuse)=1 it reduces exactly to Algorithm 2. Like every
+// MatPolicy it is safe for concurrent Decide calls, including from the
+// store's write-behind writer goroutines; the budget is reserved under
+// an internal mutex.
 type AmortizedOMP struct {
 	Model ChangeModel
 	// Threshold as in StreamingOMP; 0 selects 2.

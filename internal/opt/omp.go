@@ -10,7 +10,12 @@ import (
 // (Definition 5: all children computed or loaded), whether to materialize
 // its result to disk (paper §5.3, Constraint 3: materialize immediately or
 // evict). Implementations must be safe for concurrent use: the execution
-// engine may retire nodes from multiple goroutines.
+// engine retires nodes from multiple worker goroutines, and with
+// write-behind materialization Decide is also invoked from the store's
+// background writer goroutines (for values whose size is only known
+// after serialization), concurrently with worker-side calls. All budget
+// bookkeeping must therefore be internally synchronized — a true return
+// reserves budget atomically with the decision.
 type MatPolicy interface {
 	// Name identifies the policy in benchmark output.
 	Name() string

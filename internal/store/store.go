@@ -9,6 +9,38 @@
 // gob-encoded. An optional simulated disk speed reproduces the paper's
 // 170 MB/s HDD environment on faster local storage; it is applied as a
 // sleep proportional to the byte count on both reads and writes.
+//
+// # Concurrency model
+//
+// The store is built for many goroutines hammering it at once — the
+// execution engine retires nodes from every worker goroutine, and the
+// write-behind pool (writer.go) adds background writers on top:
+//
+//   - The entry table is sharded: each key hashes to one of shardCount
+//     shards with its own mutex, so metadata operations on different keys
+//     never contend on a single store-wide lock.
+//   - No shard (or any store-wide) lock is ever held across disk I/O or
+//     the simulated-disk throttle sleep. Mutual exclusion for a key's
+//     file is provided by a per-key lock, which serializes Put/Delete/
+//     load on the *same* key while leaving every other key unobstructed.
+//   - Concurrent Gets of the same key are single-flighted: one goroutine
+//     performs the read+decode, the rest wait and share the decoded
+//     value. Stored values are treated as immutable (the engine already
+//     shares them freely across node goroutines), so sharing the decode
+//     is safe.
+//   - The manifest is rewritten atomically (tmp file + rename) under a
+//     dedicated mutex after every synchronous mutation. Write-behind
+//     writes instead mark the table dirty and batch the (whole-table)
+//     manifest rewrite into the Flush barrier, so the writer pool is
+//     never serialized behind per-write manifest flushes.
+//
+// # Write-behind
+//
+// PutAsync enqueues a write to a bounded pool of background writer
+// goroutines and returns immediately; Flush is the barrier that waits for
+// every enqueued write (and its manifest update) to land. See writer.go
+// for the contract. Synchronous Put/PutBytes remain available and are
+// what SyncMaterialization mode uses.
 package store
 
 import (
@@ -20,6 +52,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,8 +65,20 @@ type Entry struct {
 	Iteration int           `json:"iteration"` // iteration that produced it
 }
 
-// Store is a directory-backed materialization store. It is safe for
-// concurrent use.
+// shardCount is the number of entry-table shards. Power of two so the
+// hash can be masked; 16 comfortably exceeds the engine's worker-level
+// parallelism on the synthetic workloads.
+const shardCount = 16
+
+// shard is one slice of the entry table with its own lock. The lock
+// guards only the map — never disk I/O.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// Store is a directory-backed materialization store, safe for concurrent
+// use by any number of goroutines.
 type Store struct {
 	// DiskBytesPerSec, when positive, simulates a disk with the given
 	// throughput by sleeping size/DiskBytesPerSec on each read and write —
@@ -41,10 +86,36 @@ type Store struct {
 	// simulation (real I/O timing only).
 	DiskBytesPerSec float64
 
+	// Writers is the size of the background writer pool started lazily by
+	// the first PutAsync; ≤0 selects DefaultWriters. Set before the first
+	// PutAsync.
+	Writers int
+
+	// QueueDepth bounds the write-behind queue; a full queue makes
+	// PutAsync block (backpressure). ≤0 selects DefaultQueueDepth. Set
+	// before the first PutAsync.
+	QueueDepth int
+
 	dir string
 
-	mu      sync.Mutex
-	entries map[string]Entry
+	shards [shardCount]shard
+
+	// keyLocks serializes file operations per key (Put vs Delete vs load
+	// races on the same key) without any cross-key contention.
+	keyLocks keyedMutex
+
+	// flight single-flights concurrent Gets of the same key.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	// manifestMu serializes manifest snapshots and their tmp+rename.
+	manifestMu sync.Mutex
+	// manifestDirty marks entry-table mutations whose manifest flush was
+	// deferred to the next Flush barrier (write-behind writes only —
+	// synchronous mutations flush inline).
+	manifestDirty atomic.Bool
+
+	wp writerPool
 }
 
 // Register exposes gob.Register for value types stored through the store.
@@ -56,7 +127,12 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	s := &Store{dir: dir, entries: make(map[string]Entry)}
+	s := &Store{dir: dir, flight: make(map[string]*flightCall)}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[string]Entry)
+	}
+	s.keyLocks.init()
+	s.wp.init()
 	manifest := filepath.Join(dir, "manifest.json")
 	data, err := os.ReadFile(manifest)
 	if os.IsNotExist(err) {
@@ -70,13 +146,26 @@ func Open(dir string) (*Store, error) {
 		return nil, fmt.Errorf("store: decode manifest: %w", err)
 	}
 	for _, e := range entries {
-		s.entries[e.Key] = e
+		sh := s.shardFor(e.Key)
+		sh.entries[e.Key] = e
 	}
 	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// shardFor picks a key's shard by inline FNV-1a: this sits on every
+// metadata operation from every worker and writer goroutine, and the
+// hash.Hash32 route would pay two heap allocations per call.
+func (s *Store) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h&(shardCount-1)]
+}
 
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".gob")
@@ -112,10 +201,23 @@ func (s *Store) EstimateLoad(size int64) time.Duration {
 
 // PutBytes writes pre-encoded bytes under key and records the entry. The
 // write is timed (including simulated disk delay); the measured duration is
-// stored in the entry and returned.
+// stored in the entry and returned. The key's per-key lock is held across
+// the file write so a concurrent Delete or Get of the same key cannot
+// observe a half-updated file/manifest pair; no shard lock is held during
+// I/O. The manifest is flushed before returning.
 func (s *Store) PutBytes(key, name string, data []byte, iteration int) (Entry, error) {
+	return s.putBytes(key, name, data, iteration, true)
+}
+
+// putBytes is PutBytes with the manifest flush optional: the write-behind
+// pool passes syncManifest=false and defers the (whole-table) manifest
+// rewrite to the Flush barrier, so N background writes cost one manifest
+// flush instead of N serialized ones.
+func (s *Store) putBytes(key, name string, data []byte, iteration int, syncManifest bool) (Entry, error) {
 	start := time.Now()
+	s.keyLocks.lock(key)
 	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
+		s.keyLocks.unlock(key)
 		return Entry{}, fmt.Errorf("store: write %q: %w", key, err)
 	}
 	s.throttle(int64(len(data)))
@@ -126,9 +228,15 @@ func (s *Store) PutBytes(key, name string, data []byte, iteration int) (Entry, e
 		WriteTime: time.Since(start),
 		Iteration: iteration,
 	}
-	s.mu.Lock()
-	s.entries[key] = e
-	s.mu.Unlock()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	s.keyLocks.unlock(key)
+	if !syncManifest {
+		s.manifestDirty.Store(true)
+		return e, nil
+	}
 	if err := s.flushManifest(); err != nil {
 		return e, err
 	}
@@ -144,56 +252,100 @@ func (s *Store) Put(key, name string, value any, iteration int) (Entry, error) {
 	return s.PutBytes(key, name, data, iteration)
 }
 
+// flightCall is one in-flight load shared by concurrent Gets of a key.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
 // Get loads and decodes the value stored under key, returning the value and
-// the measured load duration (including simulated disk delay).
+// the caller's measured wait (including simulated disk delay). Concurrent
+// Gets of the same key share a single disk read and decode; the returned
+// value must therefore be treated as immutable, which the engine already
+// guarantees for everything it stores.
 func (s *Store) Get(key string) (any, time.Duration, error) {
-	s.mu.Lock()
-	e, ok := s.entries[key]
-	s.mu.Unlock()
-	if !ok {
-		return nil, 0, fmt.Errorf("store: no entry for key %q", key)
-	}
 	start := time.Now()
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		return c.val, time.Since(start), c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+
+	c.val, c.err = s.load(key)
+
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(c.done)
+	return c.val, time.Since(start), c.err
+}
+
+// load performs the physical read for Get under the key's per-key lock, so
+// it cannot interleave with a Put or Delete of the same key.
+func (s *Store) load(key string) (any, error) {
+	s.keyLocks.lock(key)
+	defer s.keyLocks.unlock(key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: no entry for key %q", key)
+	}
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: read %q: %w", key, err)
+		return nil, fmt.Errorf("store: read %q: %w", key, err)
 	}
 	s.throttle(e.Size)
 	var value any
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&value); err != nil {
-		return nil, 0, fmt.Errorf("store: decode %q: %w", key, err)
+		return nil, fmt.Errorf("store: decode %q: %w", key, err)
 	}
-	return value, time.Since(start), nil
+	return value, nil
 }
 
 // Has reports whether an entry exists for key — the engine's "equivalent
 // materialization" check (Definition 3).
 func (s *Store) Has(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[key]
 	return ok
 }
 
 // Entry returns the metadata for key.
 func (s *Store) Entry(key string) (Entry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	return e, ok
 }
 
 // Delete removes the entry and its file. Deleting a missing key is a no-op.
 func (s *Store) Delete(key string) error {
-	s.mu.Lock()
-	_, ok := s.entries[key]
-	delete(s.entries, key)
-	s.mu.Unlock()
+	s.keyLocks.lock(key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.entries[key]
+	delete(sh.entries, key)
+	sh.mu.Unlock()
+	var rmErr error
+	if ok {
+		rmErr = os.Remove(s.path(key))
+	}
+	s.keyLocks.unlock(key)
 	if !ok {
 		return nil
 	}
-	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: delete %q: %w", key, err)
+	if rmErr != nil && !os.IsNotExist(rmErr) {
+		return fmt.Errorf("store: delete %q: %w", key, rmErr)
 	}
 	return s.flushManifest()
 }
@@ -204,33 +356,30 @@ func (s *Store) Delete(key string) error {
 // prior to execution").
 func (s *Store) Purge(keep func(key string) bool) (freed int64, err error) {
 	// Snapshot first: keep may call back into the store (e.g. Entry), so it
-	// must run without s.mu held.
-	s.mu.Lock()
-	keys := make([]string, 0, len(s.entries))
-	for k := range s.entries {
-		keys = append(keys, k)
-	}
-	s.mu.Unlock()
+	// must run without any shard lock held.
+	keys := s.Keys()
 	var doomed []string
 	for _, k := range keys {
 		if !keep(k) {
 			doomed = append(doomed, k)
 		}
 	}
-	s.mu.Lock()
-	var victims []Entry
 	for _, k := range doomed {
-		if e, ok := s.entries[k]; ok {
-			victims = append(victims, e)
-			delete(s.entries, k)
+		s.keyLocks.lock(k)
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		e, ok := sh.entries[k]
+		if ok {
+			delete(sh.entries, k)
 		}
-	}
-	s.mu.Unlock()
-	for _, e := range victims {
-		freed += e.Size
-		if rmErr := os.Remove(s.path(e.Key)); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
-			err = fmt.Errorf("store: purge %q: %w", e.Key, rmErr)
+		sh.mu.Unlock()
+		if ok {
+			freed += e.Size
+			if rmErr := os.Remove(s.path(k)); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+				err = fmt.Errorf("store: purge %q: %w", k, rmErr)
+			}
 		}
+		s.keyLocks.unlock(k)
 	}
 	if ferr := s.flushManifest(); ferr != nil && err == nil {
 		err = ferr
@@ -240,43 +389,68 @@ func (s *Store) Purge(keep func(key string) bool) (freed int64, err error) {
 
 // UsedBytes reports the total size of stored entries.
 func (s *Store) UsedBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var total int64
-	for _, e := range s.entries {
-		total += e.Size
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			total += e.Size
+		}
+		sh.mu.Unlock()
 	}
 	return total
 }
 
 // Len reports the number of stored entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Keys returns all stored keys, sorted (for deterministic iteration).
 func (s *Store) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.entries))
-	for k := range s.entries {
-		keys = append(keys, k)
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.entries {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// flushManifest persists the entry table.
-func (s *Store) flushManifest() error {
-	s.mu.Lock()
-	entries := make([]Entry, 0, len(s.entries))
-	for _, e := range s.entries {
-		entries = append(entries, e)
+// snapshotEntries collects a point-in-time copy of the entry table.
+func (s *Store) snapshotEntries() []Entry {
+	var entries []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries
+}
+
+// flushManifest persists the entry table atomically. manifestMu is taken
+// before the snapshot so concurrent flushes cannot commit an older table
+// over a newer one; every mutation triggers its own flush, so the last
+// writer always leaves the manifest current.
+func (s *Store) flushManifest() error {
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	entries := s.snapshotEntries()
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encode manifest: %w", err)
@@ -289,4 +463,43 @@ func (s *Store) flushManifest() error {
 		return fmt.Errorf("store: commit manifest: %w", err)
 	}
 	return nil
+}
+
+// keyedMutex provides a mutex per string key, created on demand and
+// reclaimed when the last holder releases it.
+type keyedMutex struct {
+	mu    sync.Mutex
+	locks map[string]*keyLockEntry
+}
+
+type keyLockEntry struct {
+	mu   sync.Mutex
+	refs int
+}
+
+func (k *keyedMutex) init() {
+	k.locks = make(map[string]*keyLockEntry)
+}
+
+func (k *keyedMutex) lock(key string) {
+	k.mu.Lock()
+	e, ok := k.locks[key]
+	if !ok {
+		e = &keyLockEntry{}
+		k.locks[key] = e
+	}
+	e.refs++
+	k.mu.Unlock()
+	e.mu.Lock()
+}
+
+func (k *keyedMutex) unlock(key string) {
+	k.mu.Lock()
+	e := k.locks[key]
+	e.refs--
+	if e.refs == 0 {
+		delete(k.locks, key)
+	}
+	k.mu.Unlock()
+	e.mu.Unlock()
 }

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultWriters is the writer-pool size used when Store.Writers is unset.
+// Materialization is I/O-bound (and, under disk simulation, sleep-bound),
+// so a small pool suffices to keep writes off the computation's critical
+// path without swamping the disk.
+const DefaultWriters = 4
+
+// DefaultQueueDepth bounds the write-behind queue when Store.QueueDepth is
+// unset. A full queue applies backpressure to PutAsync callers, bounding
+// the memory pinned by values awaiting serialization.
+const DefaultQueueDepth = 64
+
+// WriteRequest is one unit of write-behind work handed to the writer pool.
+// Exactly one of Data or Value supplies the payload: when Data is nil the
+// pool gob-encodes Value on a writer goroutine, keeping serialization cost
+// off the caller's critical path.
+type WriteRequest struct {
+	Key       string
+	Name      string
+	Iteration int
+
+	// Value is encoded on the writer goroutine when Data is nil. The pool
+	// holds the only required reference: callers may drop theirs
+	// immediately after PutAsync returns (eager cache pruning, §5.4).
+	Value any
+	// Data, when non-nil, is the pre-encoded payload.
+	Data []byte
+
+	// Decide, when non-nil, is consulted after encoding with the encoded
+	// size; returning false drops the write. This is how the engine defers
+	// the materialization-policy check (Algorithm 2 needs the size) to the
+	// writer goroutine for values that cannot report their size cheaply.
+	// It must be safe to call from a writer goroutine.
+	Decide func(size int64) bool
+
+	// OnDone, when non-nil, receives the outcome on the writer goroutine.
+	// It runs before the request is counted as drained, so everything it
+	// writes is visible to any goroutine that returns from Flush —
+	// callers need no additional synchronization for Flush-ordered reads.
+	OnDone func(WriteOutcome)
+}
+
+// WriteOutcome reports how one WriteRequest ended.
+type WriteOutcome struct {
+	// Entry is the recorded entry; zero unless Written.
+	Entry Entry
+	// Written reports whether the payload landed in the store. False when
+	// Decide declined, an equivalent entry already existed, or Err is set.
+	Written bool
+	// Err is the write error, if any. A failed write leaves the store
+	// without the entry — callers degrade to "not materialized".
+	Err error
+	// Secs is the time spent on the writer goroutine: serialization,
+	// the policy check, the file write, simulated-disk throttle, and the
+	// manifest update. Queue wait is excluded — this is the cost the
+	// write-behind design moves off the critical path.
+	Secs float64
+}
+
+// writerPool is the bounded background pool behind PutAsync/Flush/Close.
+type writerPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   chan WriteRequest
+	pending int
+	started bool
+	stopped bool
+	stop    chan struct{}
+	err     error // first async write error since the last Flush
+}
+
+func (w *writerPool) init() {
+	w.cond = sync.NewCond(&w.mu)
+	w.stop = make(chan struct{})
+}
+
+// PutAsync enqueues a write-behind request and returns as soon as it is
+// queued; encoding, the deferred policy check, the disk write, and the
+// manifest update all happen on a background writer goroutine. A full
+// queue blocks (backpressure). After Close the request is processed
+// synchronously on the caller's goroutine instead.
+//
+// Requests for the same key are not ordered relative to one another; the
+// engine never issues concurrent writes for one key (retirement is
+// once-per-node), and the per-key lock keeps any such race consistent.
+func (s *Store) PutAsync(req WriteRequest) {
+	w := &s.wp
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		// Synchronous fallback: no Flush barrier is guaranteed to follow,
+		// so the manifest must be flushed inline like any sync Put.
+		out := s.processWrite(req, true)
+		if req.OnDone != nil {
+			req.OnDone(out)
+		}
+		return
+	}
+	if !w.started {
+		w.started = true
+		writers := s.Writers
+		if writers <= 0 {
+			writers = DefaultWriters
+		}
+		depth := s.QueueDepth
+		if depth <= 0 {
+			depth = DefaultQueueDepth
+		}
+		w.queue = make(chan WriteRequest, depth)
+		for i := 0; i < writers; i++ {
+			go s.writerLoop()
+		}
+	}
+	w.pending++
+	queue := w.queue
+	w.mu.Unlock()
+	queue <- req
+}
+
+// writerLoop drains the queue until Close. The pending count is
+// decremented only after OnDone returns, so a Flush that observes zero
+// pending requests happens-after every callback's effects.
+func (s *Store) writerLoop() {
+	w := &s.wp
+	for {
+		select {
+		case req := <-w.queue:
+			out := s.processWrite(req, false)
+			if req.OnDone != nil {
+				req.OnDone(out)
+			}
+			w.mu.Lock()
+			if out.Err != nil && w.err == nil {
+				w.err = out.Err
+			}
+			w.pending--
+			if w.pending == 0 {
+				w.cond.Broadcast()
+			}
+			w.mu.Unlock()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// processWrite performs one request: encode if needed, consult Decide,
+// write through the synchronous path. Timing starts here — queue wait is
+// deliberately not charged as materialization cost. With syncManifest
+// false (writer goroutines) the manifest update is deferred to the Flush
+// barrier instead of rewritten per write.
+func (s *Store) processWrite(req WriteRequest, syncManifest bool) WriteOutcome {
+	start := time.Now()
+	if s.Has(req.Key) {
+		// An equivalent result landed since the request was enqueued.
+		return WriteOutcome{Secs: time.Since(start).Seconds()}
+	}
+	data := req.Data
+	if data == nil {
+		var err error
+		data, err = Encode(req.Value)
+		if err != nil {
+			// Unserializable values are simply not materialized; the encode
+			// attempt is still charged as materialization overhead.
+			return WriteOutcome{Secs: time.Since(start).Seconds()}
+		}
+	}
+	if req.Decide != nil && !req.Decide(int64(len(data))) {
+		return WriteOutcome{Secs: time.Since(start).Seconds()}
+	}
+	ent, err := s.putBytes(req.Key, req.Name, data, req.Iteration, syncManifest)
+	return WriteOutcome{
+		Entry:   ent,
+		Written: err == nil,
+		Err:     err,
+		Secs:    time.Since(start).Seconds(),
+	}
+}
+
+// Flush is the write-behind barrier: it blocks until every request
+// enqueued before the call (and any enqueued while it waits) has fully
+// drained — payload on disk, manifest updated, OnDone returned. It
+// returns the first background write error since the previous Flush, if
+// any. Callers that need cross-iteration reuse or a durable manifest
+// (Session.Run, Session.Close) call this between iterations.
+func (s *Store) Flush() error {
+	w := &s.wp
+	w.mu.Lock()
+	for w.pending > 0 {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.err = nil
+	w.mu.Unlock()
+	// Batched manifest update: writer goroutines only mark the table
+	// dirty; the one whole-table rewrite happens here, once per barrier.
+	if s.manifestDirty.CompareAndSwap(true, false) {
+		if ferr := s.flushManifest(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// Close flushes pending writes and stops the writer pool. The store
+// remains usable afterwards: subsequent PutAsync calls degrade to
+// synchronous writes on the caller's goroutine.
+//
+// stopped is set before the flush: from that point every new PutAsync
+// takes the synchronous path, so once Flush observes a drained queue no
+// producer can enqueue again and the workers can be stopped without
+// stranding a request.
+func (s *Store) Close() error {
+	w := &s.wp
+	w.mu.Lock()
+	already := w.stopped
+	w.stopped = true
+	w.mu.Unlock()
+	err := s.Flush()
+	if !already {
+		close(w.stop)
+	}
+	return err
+}

@@ -77,6 +77,14 @@ type Options struct {
 	// loads and writes; 0 uses real disk speed. The paper's environment
 	// is 170 MB/s (§6.3).
 	DiskBytesPerSec float64
+	// SyncMaterialization disables write-behind materialization: results
+	// are serialized and written inline on the worker goroutine that
+	// computed them, putting the full materialization cost back on each
+	// iteration's critical path. Default false (write-behind).
+	SyncMaterialization bool
+	// MatWriters sizes the store's background writer pool for write-behind
+	// materialization; ≤0 uses the store default.
+	MatWriters int
 }
 
 // DefaultStorageBudget is the paper's experimental storage budget (§6.3).
@@ -123,6 +131,7 @@ func NewSession(dir string, options ...Options) (*Session, error) {
 		return nil, err
 	}
 	st.DiskBytesPerSec = o.DiskBytesPerSec
+	st.Writers = o.MatWriters
 	budget := o.StorageBudget
 	if budget <= 0 {
 		budget = DefaultStorageBudget
@@ -157,13 +166,14 @@ func NewSession(dir string, options ...Options) (*Session, error) {
 	eng := &exec.Engine{
 		Store: st,
 		Opts: exec.Options{
-			Policy:             pol,
-			DisableReuse:       o.DisableReuse,
-			MaterializeOutputs: o.Policy != PolicyNever,
-			DPRSlowdown:        o.DPRSlowdown,
-			LISlowdown:         o.LISlowdown,
-			SampleMemory:       o.SampleMemory,
-			DisablePruning:     o.DisablePruning,
+			Policy:              pol,
+			DisableReuse:        o.DisableReuse,
+			MaterializeOutputs:  o.Policy != PolicyNever,
+			DPRSlowdown:         o.DPRSlowdown,
+			LISlowdown:          o.LISlowdown,
+			SampleMemory:        o.SampleMemory,
+			DisablePruning:      o.DisablePruning,
+			SyncMaterialization: o.SyncMaterialization,
 		},
 	}
 	s := &Session{store: st, engine: eng, dir: dir}
@@ -220,6 +230,15 @@ func (s *Session) Run(ctx context.Context, wf *Workflow) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Write-behind barrier: the engine already drains its own iteration's
+	// writes, but the explicit Flush here is the documented contract — no
+	// materialization accepted by run N may be invisible to run N+1, and
+	// the manifest on disk reflects everything this iteration stored.
+	// The error is discarded on purpose: an individual write failure
+	// degrades to "not materialized" (identically in sync and async
+	// modes), it never fails the iteration — the computed outputs are
+	// already in hand.
+	_ = s.store.Flush()
 	s.recordHistory(wf, res, started, changedOperators(prog.DAG, s.prev))
 	s.prev = prog.DAG
 	s.iter++
@@ -233,4 +252,15 @@ func (s *Session) RunTimed(ctx context.Context, wf *Workflow) (*Result, time.Dur
 	start := time.Now()
 	res, err := s.Run(ctx, wf)
 	return res, time.Since(start), err
+}
+
+// Close flushes any write-behind materializations still in flight, stops
+// the store's writer pool, and persists the session's change-tracking
+// state. The session and its store directory remain readable afterwards;
+// a session reopened on the same directory resumes reuse. Always call
+// Close (directly or deferred) when done with a session — otherwise
+// background writes may still be in flight when the process exits.
+func (s *Session) Close() error {
+	s.saveState()
+	return s.store.Close()
 }
