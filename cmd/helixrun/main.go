@@ -8,9 +8,16 @@
 //	helixrun -workload census                    # HELIX OPT, paper schedule
 //	helixrun -workload genomics -system helix-am # always-materialize
 //	helixrun -workload nlp -iters 3 -v           # per-operator detail
+//	helixrun -workload census -explain           # per-node decision table
 //
 // Workloads: census, census10x, genomics, nlp, mnist.
 // Systems: helix-opt, helix-am, helix-nm, keystoneml, deepdive.
+//
+// With -explain, each iteration first prints the optimizer's plan — the
+// per-node decision table from Plan.Explain(): state, costs, projected
+// C(n), and the rationale for every Load/Compute/Prune choice — and then
+// executes it, so the projected plan can be compared against the realized
+// timings that follow.
 package main
 
 import (
@@ -35,10 +42,12 @@ func main() {
 	iters := flag.Int("iters", 0, "iterations to run (0 = paper schedule)")
 	dir := flag.String("dir", "", "materialization directory (default: temp, removed at exit)")
 	writeBehind := flag.Bool("writebehind", false, "materialize via the background writer pool instead of the paper-faithful inline write")
+	parallelism := flag.Int("parallelism", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
+	explain := flag.Bool("explain", false, "print the optimizer's per-node decision table before each iteration")
 	verbose := flag.Bool("v", false, "print per-operator states")
 	flag.Parse()
 
-	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *writeBehind, *verbose); err != nil {
+	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *explain, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "helixrun:", err)
 		os.Exit(1)
 	}
@@ -53,7 +62,7 @@ func systemByName(name string) (sim.System, error) {
 	return sim.System{}, fmt.Errorf("unknown system %q", name)
 }
 
-func run(workload, system string, scale, cost int, seed int64, iters int, dir string, writeBehind, verbose bool) error {
+func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, explain, verbose bool) error {
 	workloads.RegisterAll()
 	sys, err := systemByName(system)
 	if err != nil {
@@ -77,6 +86,7 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 	if writeBehind {
 		opts.SyncMaterialization = false
 	}
+	opts.Parallelism = parallelism
 	sess, err := helix.NewSession(dir, opts)
 	if err != nil {
 		return err
@@ -102,7 +112,15 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 			}
 			wl.Mutate(t, seq[t])
 		}
-		res, err := sess.Run(ctx, wl.Build())
+		wf := wl.Build()
+		if explain {
+			pl, err := sess.Plan(wf)
+			if err != nil {
+				return fmt.Errorf("iteration %d: plan: %w", t, err)
+			}
+			fmt.Println(pl.Explain())
+		}
+		res, err := sess.Run(ctx, wf)
 		if err != nil {
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}

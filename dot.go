@@ -15,6 +15,64 @@ import (
 // time from that run — a visual version of the paper's optimized-DAG
 // figures with drum/pruned markings.
 func (w *Workflow) DOT(result *Result) (string, error) {
+	return w.renderDOT(func(n *core.Node) (string, []string) {
+		if result == nil {
+			return "", nil
+		}
+		rep, ok := result.Nodes[n.Name]
+		if !ok {
+			return "", nil
+		}
+		label := fmt.Sprintf("\\n%v %.3fs", rep.State, rep.Seconds)
+		attrs := stateStyle(rep.State)
+		if rep.Bytes > 0 {
+			label += fmt.Sprintf("\\n⛁ %dB", rep.Bytes) // the paper's drum
+		}
+		return label, attrs
+	})
+}
+
+// PlanDOT renders the workflow's DAG annotated with an execution plan's
+// decisions rather than a finished run's outcomes: each node shows its
+// assigned state and projected cumulative time C(n), pruned nodes are
+// grayed out, loads are blue-bordered, mandatory-materialization outputs
+// carry the paper's drum marker, and every node's decision rationale is
+// attached as a Graphviz tooltip. The plan should come from Session.Plan
+// (or Result.Plan) for this same workflow; nodes are matched by name.
+func (w *Workflow) PlanDOT(p *Plan) (string, error) {
+	return w.renderDOT(func(n *core.Node) (string, []string) {
+		if p == nil {
+			return "", nil
+		}
+		np := p.ByName(n.Name)
+		if np == nil {
+			return "", nil
+		}
+		label := fmt.Sprintf("\\n%v C(n)=%.3fs", np.State, np.ProjectedCum)
+		attrs := stateStyle(np.State)
+		if np.MandatoryMat {
+			label += "\\n⛁ mandatory" // the paper's drum
+		}
+		attrs = append(attrs, fmt.Sprintf("tooltip=%q", np.Rationale))
+		return label, attrs
+	})
+}
+
+// stateStyle returns the extra node attributes shared by both renderings:
+// pruned nodes gray out, loads get a blue border.
+func stateStyle(s core.State) []string {
+	switch s {
+	case core.StatePrune:
+		return []string{`fillcolor="#dddddd"`, `fontcolor="#888888"`}
+	case core.StateLoad:
+		return []string{`penwidth=2`, `color="#2266cc"`}
+	}
+	return nil
+}
+
+// renderDOT compiles the workflow and emits the DOT graph, delegating
+// per-node annotation (label suffix + extra attributes) to annotate.
+func (w *Workflow) renderDOT(annotate func(*core.Node) (string, []string)) (string, error) {
 	prog, err := w.Compile()
 	if err != nil {
 		return "", err
@@ -32,20 +90,9 @@ func (w *Workflow) DOT(result *Result) (string, error) {
 		}
 		label := fmt.Sprintf("%s\\n%s", n.Name, n.Kind)
 		attrs := []string{fmt.Sprintf("fillcolor=%q", color)}
-		if result != nil {
-			if rep, ok := result.Nodes[n.Name]; ok {
-				label += fmt.Sprintf("\\n%v %.3fs", rep.State, rep.Seconds)
-				switch rep.State {
-				case core.StatePrune:
-					attrs = append(attrs, `fillcolor="#dddddd"`, `fontcolor="#888888"`)
-				case core.StateLoad:
-					attrs = append(attrs, `penwidth=2`, `color="#2266cc"`)
-				}
-				if rep.Bytes > 0 {
-					label += fmt.Sprintf("\\n⛁ %dB", rep.Bytes) // the paper's drum
-				}
-			}
-		}
+		extraLabel, extraAttrs := annotate(n)
+		label += extraLabel
+		attrs = append(attrs, extraAttrs...)
 		for _, o := range prog.DAG.Outputs() {
 			if o == n {
 				attrs = append(attrs, "peripheries=2")

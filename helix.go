@@ -32,8 +32,20 @@ package helix
 
 import (
 	"helix/internal/core"
+	"helix/internal/plan"
 	"helix/internal/store"
 )
+
+// Plan is an explainable execution plan for one iteration: the states
+// OPT-EXEC-PLAN assigned, the costs and constraints each decision rested
+// on, a per-decision rationale, and the projected run time T(W,s) of
+// Equation 1. Obtain one with Session.Plan (planning only) or from
+// Result.Plan (the plan a Run executed); render it with Plan.Explain or
+// Workflow.PlanDOT.
+type Plan = plan.Plan
+
+// NodePlan is one operator's planned treatment within a Plan.
+type NodePlan = plan.NodePlan
 
 // Value is the unit of data flowing between operators: a data collection,
 // an ML model, or a scalar (paper §3.2: "A HELIX operator takes one or

@@ -44,12 +44,16 @@ type Series struct {
 	Workload, System string
 	Types            []core.Component
 	Seconds          []float64
-	Cumulative       []float64
-	Storage          []int64
-	PeakMem, AvgMem  []uint64
-	MatSeconds       []float64
-	Breakdown        []map[core.Component]float64
-	States           []map[core.State]int
+	// Projected is the per-iteration T(W,s) projection of the executed
+	// plan (Equation 1) — the optimizer's own forecast, recorded beside
+	// the measured Seconds so cost-model fidelity is benchmarkable.
+	Projected       []float64
+	Cumulative      []float64
+	Storage         []int64
+	PeakMem, AvgMem []uint64
+	MatSeconds      []float64
+	Breakdown       []map[core.Component]float64
+	States          []map[core.State]int
 }
 
 func toSeries(r *sim.SeriesResult) Series {
@@ -57,6 +61,7 @@ func toSeries(r *sim.SeriesResult) Series {
 	for _, m := range r.Metrics {
 		s.Types = append(s.Types, m.Type)
 		s.Seconds = append(s.Seconds, m.Seconds)
+		s.Projected = append(s.Projected, m.ProjectedSeconds)
 		s.Storage = append(s.Storage, m.StorageBytes)
 		s.PeakMem = append(s.PeakMem, m.PeakMemBytes)
 		s.AvgMem = append(s.AvgMem, m.AvgMemBytes)

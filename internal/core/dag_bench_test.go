@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// layeredDAG builds a DAG of `layers` layers with `width` nodes each;
+// every node gets 1-3 random parents from the previous layer, giving the
+// heap-based TopoSort ready queue realistic churn.
+func layeredDAG(layers, width int, seed int64) *DAG {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDAG()
+	prev := make([]*Node, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]*Node, 0, width)
+		for w := 0; w < width; w++ {
+			n := d.MustAddNode(fmt.Sprintf("n%d_%d", l, w), KindExtractor, DPR, "v1", true)
+			if l > 0 {
+				for p := 0; p < 1+rng.Intn(3); p++ {
+					if err := d.AddEdge(prev[rng.Intn(len(prev))], n); err != nil {
+						panic(err)
+					}
+				}
+			}
+			cur = append(cur, n)
+		}
+		prev = cur
+	}
+	d.MarkOutput(prev[len(prev)-1])
+	return d
+}
+
+// naiveTopoSort is the reference Kahn's algorithm with an O(n) sorted
+// insertion — the behavior the heap-based TopoSort must reproduce.
+func naiveTopoSort(d *DAG) []*Node {
+	indeg := make(map[*Node]int, d.Len())
+	var ready []*Node
+	for _, n := range d.Nodes() {
+		indeg[n] = len(n.Parents())
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	out := make([]*Node, 0, d.Len())
+	for len(ready) > 0 {
+		// Pick the minimum ID among ready (the deterministic tie-break).
+		min := 0
+		for i := range ready {
+			if ready[i].ID < ready[min].ID {
+				min = i
+			}
+		}
+		n := ready[min]
+		ready = append(ready[:min], ready[min+1:]...)
+		out = append(out, n)
+		for _, c := range n.Children() {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	return out
+}
+
+func TestTopoSortMatchesReferenceOrder(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		d := layeredDAG(8, 12, seed)
+		got := d.TopoSort()
+		want := naiveTopoSort(d)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: length %d != %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d: %s != %s (ID tie-break changed)",
+					seed, i, got[i].Name, want[i].Name)
+			}
+		}
+	}
+}
+
+// BenchmarkTopoSort measures sorting a ~5k-node DAG — the production-scale
+// shape the heap-based ready queue targets (the previous sorted-slice
+// insertion was O(n²) on wide DAGs).
+func BenchmarkTopoSort(b *testing.B) {
+	d := layeredDAG(50, 100, 1) // 5000 nodes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.TopoSort(); len(got) != d.Len() {
+			b.Fatalf("topo sort visited %d of %d", len(got), d.Len())
+		}
+	}
+}
+
+// BenchmarkTopoSortWide is the worst case for the old sorted-slice queue:
+// one root fanning out to ~5k ready nodes at once.
+func BenchmarkTopoSortWide(b *testing.B) {
+	d := NewDAG()
+	root := d.MustAddNode("root", KindSource, DPR, "v1", true)
+	for i := 0; i < 5000; i++ {
+		n := d.MustAddNode(fmt.Sprintf("leaf%d", i), KindExtractor, DPR, "v1", true)
+		if err := d.AddEdge(root, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.TopoSort(); len(got) != d.Len() {
+			b.Fatalf("topo sort visited %d of %d", len(got), d.Len())
+		}
+	}
+}

@@ -1,10 +1,14 @@
 // Package exec implements HELIX-Go's execution engine (paper §2.1, §5.3).
-// It carries out the physical plan produced by the DAG optimizer — loading
-// materialized results, computing operators in parallel on goroutines
-// (standing in for Spark's fair scheduling), pruning skipped nodes — while
-// consulting the materialization policy whenever an intermediate result
-// goes out of scope (Definition 5), and evicting out-of-scope results from
-// the in-memory cache eagerly (§5.4, cache pruning).
+// It is a pure plan executor: the planning pipeline — change tracking,
+// program slicing, and the OPT-EXEC-PLAN solve — lives in internal/plan,
+// and Engine.Run first builds a Plan, then carries it out. Execution runs
+// on a bounded worker-pool scheduler (Options.Parallelism goroutines, a
+// ready queue fed by parent-completion counts) — standing in for Spark's
+// fair scheduling while keeping goroutine count independent of DAG size —
+// loading materialized results, computing operators, and pruning skipped
+// nodes. Whenever an intermediate result goes out of scope (Definition 5)
+// the engine consults the materialization policy and evicts the value
+// from the in-memory cache eagerly (§5.4, cache pruning).
 //
 // # Write-behind materialization
 //
@@ -26,14 +30,17 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"helix/internal/core"
 	"helix/internal/opt"
+	"helix/internal/plan"
 	"helix/internal/store"
 )
 
@@ -85,6 +92,13 @@ type Options struct {
 	// materialization cost back on the critical path. Kept as an escape
 	// hatch and for A/B benchmarking against the async default.
 	SyncMaterialization bool
+	// Parallelism bounds the scheduler's compute worker pool: at most
+	// this many operators compute concurrently, regardless of DAG width.
+	// ≤0 uses runtime.GOMAXPROCS(0). Load-state nodes run on a separate
+	// small I/O pool (max(Parallelism, 4), capped by the plan's load
+	// count): loads are disk/throttle-bound, not CPU-bound, and must not
+	// serialize behind compute on narrow hosts.
+	Parallelism int
 }
 
 // NodeReport is the per-node outcome of a run.
@@ -103,6 +117,10 @@ type Result struct {
 	Values map[string]any
 	// Nodes reports per-node state and timing, keyed by node name.
 	Nodes map[string]NodeReport
+	// Plan is the executed plan: states, costs, rationale, and the
+	// projected time T(W,s) the run was expected to take. Call
+	// Plan.Explain() for the per-node decision table.
+	Plan *plan.Plan
 	// Wall is the wall-clock duration of the run's compute critical path:
 	// from Run entry until the last node finished. With write-behind
 	// materialization (the default) background writes overlap computation
@@ -145,70 +163,123 @@ func New(st *store.Store, budget int64) *Engine {
 	}
 }
 
+// storeView adapts the materialization store to the planner's read-only
+// view.
+type storeView struct{ st *store.Store }
+
+func (v storeView) Lookup(key string) (int64, bool) {
+	ent, ok := v.st.Entry(key)
+	return ent.Size, ok
+}
+
+func (v storeView) EstimateLoad(size int64) time.Duration {
+	return v.st.EstimateLoad(size)
+}
+
+// Plan builds the execution plan Run would carry out for d against the
+// engine's store and options, without executing or mutating anything but
+// d itself (signatures and carried metrics). prev is the previous
+// iteration's DAG (nil at iteration 0) used for change tracking.
+func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, error) {
+	pl := &plan.Planner{
+		// The planner's Options.DisableReuse is the single switch: it
+		// ignores the view and suppresses the purge spec by itself.
+		View: storeView{e.Store},
+		Opts: plan.Options{
+			DisableReuse:       e.Opts.DisableReuse,
+			DisablePruning:     e.Opts.DisablePruning,
+			MaterializeOutputs: e.Opts.MaterializeOutputs,
+		},
+	}
+	p, err := pl.Plan(d, prev, iteration)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return p, nil
+}
+
 // nodeRun is the mutable per-node execution record.
 type nodeRun struct {
 	node  *core.Node
+	np    *plan.NodePlan
 	fn    OpFunc
 	state core.State
 	done  chan struct{}
 	// valMu orders post-completion accesses to value: eviction (retire
 	// setting it nil, possibly from another node's goroutine) versus the
 	// load-failure fallback reading it. The owner's pre-close write and
-	// child-input reads need no lock — they are ordered by the done
-	// channel and the pending counter respectively.
-	valMu sync.Mutex
-	value any
-	err   error
+	// child-input reads need no lock — they are ordered by the scheduler
+	// (a child runs only after its parents completed) and the pending
+	// counter respectively.
+	valMu   sync.Mutex
+	value   any
+	err     error
 	ownSecs float64
 	matSecs float64
 	bytes   int64
+	// deps counts not-yet-finished non-pruned parents; the scheduler
+	// enqueues the node when it reaches zero. Loaded nodes start at zero:
+	// they read from disk, not from parents.
+	deps int32
 	// pending counts children in Compute state that still need this node's
 	// value; when it reaches zero the node is out of scope (Definition 5).
 	pending int32
 	retired int32
 }
 
-// Run executes one iteration of the program. prev is the previous
-// iteration's DAG (nil at iteration 0) used for change tracking; iteration
-// seeds the nondeterminism nonce. On success the program's DAG carries
-// updated metrics and should be retained as prev for the next iteration.
+// Run plans and executes one iteration of the program. prev is the
+// previous iteration's DAG (nil at iteration 0) used for change tracking;
+// iteration seeds the nondeterminism nonce. On success the program's DAG
+// carries updated metrics and should be retained as prev for the next
+// iteration.
 func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iteration int) (*Result, error) {
 	start := time.Now()
+	p, err := e.Plan(prog.DAG, prev, iteration)
+	if err != nil {
+		return nil, err
+	}
+	// Planning is part of the iteration's critical path: Result.Wall is
+	// measured from Run entry, so the solve and ancestor-table passes
+	// stay on the bill exactly as when they lived inline here.
+	return e.execute(ctx, prog, p, start)
+}
+
+// Execute carries out a previously built plan against the program it was
+// planned from (Engine.Run guarantees the pairing; callers using
+// Session.Plan + Execute must pass the same compiled program). It applies
+// the plan's purge decision, then runs every non-pruned node on the
+// bounded scheduler. Result.Wall is measured from Execute entry; Run
+// measures from its own entry so planning time is included there.
+func (e *Engine) Execute(ctx context.Context, prog *Program, p *plan.Plan) (*Result, error) {
+	return e.execute(ctx, prog, p, time.Now())
+}
+
+func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time) (*Result, error) {
 	d := prog.DAG
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("exec: invalid workflow: %w", err)
+	// Fail fast on plan/program mispairing: fn lookup is by node pointer,
+	// so a plan built from a different Compile of even the same workflow
+	// would otherwise surface only as opaque "no function" failures.
+	if p == nil {
+		return nil, fmt.Errorf("exec: nil plan")
+	}
+	if len(p.Nodes) != d.Len() {
+		return nil, fmt.Errorf("exec: plan covers %d nodes, program has %d: plan was not built from this program", len(p.Nodes), d.Len())
+	}
+	for _, np := range p.Nodes {
+		if d.Node(np.Node.Name) != np.Node {
+			return nil, fmt.Errorf("exec: plan node %q does not belong to this program: plan was not built from this program", np.Node.Name)
+		}
 	}
 
-	// 1. Change tracking (paper §4.2).
-	d.ComputeSignatures()
-	d.CarryMetrics(prev)
-	originals := d.OriginalNodes(prev)
-
-	// 2. Program slicing (paper §5.4).
-	live := d.Slice()
-	if e.Opts.DisablePruning {
-		for _, n := range d.Nodes() {
-			live[n] = true
-		}
-	}
-
-	// 3. Purge deprecated materializations: an original node's old results
-	// can never be reused (paper §6.6).
-	if !e.Opts.DisableReuse {
-		current := make(map[string]bool, d.Len())
-		for _, n := range d.Nodes() {
-			current[n.ChainSignature()] = true
-		}
-		deprecatedNames := make(map[string]bool)
-		for n := range originals {
-			deprecatedNames[n.Name] = true
-		}
+	// Purge deprecated materializations per the plan's decision: an
+	// original node's old results can never be reused (paper §6.6).
+	if p.Purge != nil {
 		freed, err := e.Store.Purge(func(key string) bool {
-			if current[key] {
+			if p.Purge.CurrentSigs[key] {
 				return true
 			}
 			ent, ok := e.Store.Entry(key)
-			return ok && !deprecatedNames[ent.Name]
+			return ok && !p.Purge.DeprecatedNames[ent.Name]
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exec: purge: %w", err)
@@ -220,53 +291,43 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 		}
 	}
 
-	// 4. Cost model + OEP (paper §5.2, Algorithm 1).
-	costs := make(map[*core.Node]opt.Costs, d.Len())
-	for _, n := range d.Nodes() {
-		if !live[n] {
-			continue
-		}
-		c := opt.Costs{
-			Compute:     n.Metrics.Compute.Seconds(),
-			Load:        math.Inf(1),
-			MustCompute: originals[n],
-		}
-		// Nondeterministic nodes never have an equivalent materialization
-		// (Definition 3): a stored result is one random draw and must not
-		// stand in for a fresh computation.
-		if !e.Opts.DisableReuse && n.Deterministic {
-			if ent, ok := e.Store.Entry(n.ChainSignature()); ok {
-				c.Load = e.Store.EstimateLoad(ent.Size).Seconds()
-			}
-		}
-		costs[n] = c
-	}
-	for _, o := range d.Outputs() {
-		if c, ok := costs[o]; ok {
-			c.Required = true
-			costs[o] = c
-		}
-	}
-	plan := opt.OptimalStates(d, costs)
-
-	// 5. Execute.
-	runs := make(map[*core.Node]*nodeRun, d.Len())
-	for _, n := range d.Nodes() {
-		runs[n] = &nodeRun{
-			node:  n,
-			fn:    prog.Fns[n],
-			state: plan.States[n],
+	// Per-node execution records, indexed both by plan order and by node.
+	runs := make([]*nodeRun, len(p.Nodes))
+	byNode := make(map[*core.Node]*nodeRun, len(p.Nodes))
+	for i, np := range p.Nodes {
+		r := &nodeRun{
+			node:  np.Node,
+			np:    np,
+			fn:    prog.Fns[np.Node],
+			state: np.State,
 			done:  make(chan struct{}),
 		}
+		runs[i] = r
+		byNode[np.Node] = r
 	}
-	for _, n := range d.Nodes() {
+	scheduled := 0
+	for _, r := range runs {
+		if r.state == core.StatePrune {
+			close(r.done)
+			continue
+		}
+		scheduled++
 		var pending int32
-		for _, ch := range n.Children() {
-			if plan.States[ch] == core.StateCompute {
+		for _, ch := range r.node.Children() {
+			if cr := byNode[ch]; cr != nil && cr.state == core.StateCompute {
 				pending++
 			}
 		}
-		runs[n].pending = pending
+		r.pending = pending
+		if r.state == core.StateCompute {
+			var deps int32
+			for _, par := range r.node.Parents() {
+				if pr := byNode[par]; pr != nil && pr.state != core.StatePrune {
+					deps++
+				}
+			}
+			r.deps = deps
+		}
 	}
 
 	var sampler *memSampler
@@ -278,29 +339,18 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 	defer cancel()
 	st := &runState{
 		engine:    e,
-		runs:      runs,
+		plan:      p,
+		runs:      byNode,
+		times:     make([]atomic.Uint64, len(runs)),
 		outputs:   make(map[*core.Node]bool, len(d.Outputs())),
-		iteration: iteration,
+		iteration: p.Iteration,
 		cancel:    cancel,
 	}
 	for _, o := range d.Outputs() {
 		st.outputs[o] = true
 	}
 
-	var wg sync.WaitGroup
-	for _, n := range d.TopoSort() {
-		r := runs[n]
-		if r.state == core.StatePrune {
-			close(r.done)
-			continue
-		}
-		wg.Add(1)
-		go func(r *nodeRun) {
-			defer wg.Done()
-			st.execNode(rctx, r)
-		}(r)
-	}
-	wg.Wait()
+	e.schedule(rctx, st, runs, scheduled)
 	computeWall := time.Since(start)
 
 	// Write-behind barrier: wait for every materialization handed to the
@@ -318,45 +368,40 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 		flushWait = time.Since(flushStart)
 	}
 
-	var firstErr error
-	for _, n := range d.Nodes() {
-		if r := runs[n]; r.err != nil {
-			firstErr = fmt.Errorf("exec: node %q: %w", r.node.Name, r.err)
-			break
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstError(runs); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// 6. Assemble the result.
+	// Assemble the result.
 	res := &Result{
-		Iteration:   iteration,
+		Iteration:   p.Iteration,
 		Values:      make(map[string]any, len(d.Outputs())),
-		Nodes:       make(map[string]NodeReport, d.Len()),
+		Nodes:       make(map[string]NodeReport, len(runs)),
+		Plan:        p,
 		Breakdown:   make(map[core.Component]time.Duration, 3),
 		StateCounts: make(map[core.State]int, 3),
 	}
-	for _, n := range d.Nodes() {
-		r := runs[n]
-		res.Nodes[n.Name] = NodeReport{
+	for s, c := range p.Counts {
+		res.StateCounts[s] = c
+	}
+	for _, r := range runs {
+		res.Nodes[r.node.Name] = NodeReport{
 			State:     r.state,
-			Component: n.Component,
+			Component: r.node.Component,
 			Seconds:   r.ownSecs,
 			MatSecs:   r.matSecs,
 			Bytes:     r.bytes,
 		}
-		if live[n] {
-			res.StateCounts[r.state]++
-		}
-		res.Breakdown[n.Component] += time.Duration(r.ownSecs * float64(time.Second))
+		res.Breakdown[r.node.Component] += time.Duration(r.ownSecs * float64(time.Second))
 		res.MatTime += time.Duration(r.matSecs * float64(time.Second))
 	}
 	for _, o := range d.Outputs() {
-		res.Values[o.Name] = runs[o].value
+		if r := byNode[o]; r != nil {
+			res.Values[o.Name] = r.value
+		}
 	}
 	if sampler != nil {
 		res.PeakMemBytes, res.AvgMemBytes = sampler.stop()
@@ -367,10 +412,153 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 	return res, nil
 }
 
+// firstError scans the runs for failures, preferring a real operator or
+// load error over the context-cancellation errors that cascade from it.
+func firstError(runs []*nodeRun) error {
+	var first error
+	for _, r := range runs {
+		if r.err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("exec: node %q: %w", r.node.Name, r.err)
+		if !errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
+			return wrapped
+		}
+		if first == nil {
+			first = wrapped
+		}
+	}
+	return first
+}
+
+// minLoadWorkers floors the I/O pool: loads spend their time in disk
+// reads or the simulated-disk throttle sleep, not on a core, so even a
+// single-CPU host overlaps several loads profitably (per-node goroutines
+// used to give this overlap for free).
+const minLoadWorkers = 4
+
+// schedule executes every non-pruned run on bounded worker pools: a
+// ready queue fed by parent-completion counts, drained by
+// Options.Parallelism compute workers (default GOMAXPROCS), plus a small
+// separate I/O pool for Load-state nodes — loads are disk/throttle-bound,
+// and making them occupy compute slots would serialize their sleeps on
+// narrow hosts, skewing the very reuse advantage loading exists to
+// provide. Goroutine count is therefore independent of DAG size —
+// thousands-of-node DAGs run on fixed pools instead of a goroutine per
+// node. The queue channels' capacities cover every schedulable node, so
+// completion bookkeeping never blocks; the compute queue is closed when
+// the last node finishes, and workers also exit on context cancellation
+// (an operator failure cancels).
+func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, scheduled int) {
+	if scheduled == 0 {
+		return
+	}
+	par := e.Opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > scheduled {
+		par = scheduled
+	}
+
+	// Loads have no in-DAG dependencies (they read disk, not parents), so
+	// the I/O queue is fully populated here and never written again.
+	nLoads := 0
+	for _, r := range runs {
+		if r.state == core.StateLoad {
+			nLoads++
+		}
+	}
+	ready := make(chan *nodeRun, scheduled-nLoads)
+	loads := make(chan *nodeRun, nLoads)
+	for _, r := range runs { // topological order: parents enqueue first
+		switch {
+		case r.state == core.StatePrune:
+		case r.state == core.StateLoad:
+			loads <- r
+		case atomic.LoadInt32(&r.deps) == 0:
+			ready <- r
+		}
+	}
+	close(loads)
+	var remaining atomic.Int32
+	remaining.Store(int32(scheduled))
+	var closeReady sync.Once
+
+	// finish runs a completed node's scheduling bookkeeping: release
+	// children whose last dependency this was, and close the compute
+	// queue after the overall last node (which may be a load). On failure,
+	// descendants can never run; cancel wakes every worker instead
+	// (remaining never reaches zero).
+	finish := func(r *nodeRun) {
+		if r.err != nil {
+			st.cancel()
+			return
+		}
+		for _, ch := range r.node.Children() {
+			cr := st.runs[ch]
+			if cr == nil || cr.state != core.StateCompute {
+				continue
+			}
+			if atomic.AddInt32(&cr.deps, -1) == 0 {
+				ready <- cr
+			}
+		}
+		if remaining.Add(-1) == 0 {
+			closeReady.Do(func() { close(ready) })
+		}
+	}
+	worker := func(queue chan *nodeRun) {
+		for {
+			var r *nodeRun
+			select {
+			case rr, ok := <-queue:
+				if !ok {
+					return
+				}
+				r = rr
+			case <-ctx.Done():
+				return
+			}
+			st.execNode(ctx, r)
+			finish(r)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(ready)
+		}()
+	}
+	ioPar := max(par, minLoadWorkers)
+	if ioPar > nLoads {
+		ioPar = nLoads
+	}
+	for w := 0; w < ioPar; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(loads)
+		}()
+	}
+	wg.Wait()
+}
+
 // runState holds shared execution state.
 type runState struct {
-	engine    *Engine
-	runs      map[*core.Node]*nodeRun
+	engine *Engine
+	plan   *plan.Plan
+	runs   map[*core.Node]*nodeRun
+	// times publishes each run's measured own time t(n), indexed by plan
+	// order, as atomic float bits. Written once when a node finishes;
+	// retirement sums ancestor entries to price C(n). A still-running
+	// ancestor (reachable only through a loaded node) reads as zero — its
+	// unfinished time is simply not part of the chain's bill, exactly as
+	// the old done-channel gate behaved.
+	times     []atomic.Uint64
 	outputs   map[*core.Node]bool
 	iteration int
 	cancel    context.CancelFunc
@@ -383,10 +571,11 @@ type runState struct {
 
 // evict drops a run's in-memory value (eager cache pruning, §5.4) under
 // the run's own valMu. Ordinary child reads of r.value are ordered by
-// the pending counter protocol — a parent cannot retire until every
-// computing child has read its inputs — but the load-failure fallback
-// reads finished runs' values from an unrelated goroutine, so eviction
-// must synchronize with it. The lock is per-run and held for one store:
+// the scheduler and the pending counter protocol — a child runs only
+// after its parents completed, and a parent cannot retire until every
+// computing child has finished — but the load-failure fallback reads
+// finished runs' values from an unrelated goroutine, so eviction must
+// synchronize with it. The lock is per-run and held for one store:
 // retirements on the hot path never contend with each other or with an
 // in-flight recomputation's user code.
 func (s *runState) evict(r *nodeRun) {
@@ -395,11 +584,22 @@ func (s *runState) evict(r *nodeRun) {
 	r.valMu.Unlock()
 }
 
-// execNode runs a single node to completion: waits for computed parents,
-// loads or computes, records timing, then retires out-of-scope nodes.
+// execNode runs a single node to completion: loads or computes, records
+// timing, then retires out-of-scope nodes. The scheduler guarantees that
+// a Compute node's parents have already finished, so inputs are read
+// directly — no per-parent waiting.
 func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 	defer close(r.done)
 	n := r.node
+
+	// A canceled run must not start new work: queued nodes can still win
+	// the worker's select race against ctx.Done after a failure elsewhere,
+	// and a throttled disk load (or its recursive recompute fallback)
+	// would delay the error return by whole load durations.
+	if err := ctx.Err(); err != nil {
+		r.err = err
+		return
+	}
 
 	switch r.state {
 	case core.StateLoad:
@@ -411,7 +611,6 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 			value, err = s.recompute(ctx, n)
 			if err != nil {
 				r.err = err
-				s.cancel()
 				return
 			}
 			r.value = value
@@ -426,11 +625,8 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		inputs := make([]any, len(n.Parents()))
 		for i, p := range n.Parents() {
 			pr := s.runs[p]
-			select {
-			case <-pr.done:
-			case <-ctx.Done():
-				r.err = ctx.Err()
-				return
+			if pr == nil || pr.state == core.StatePrune {
+				continue // infeasible per Constraint 2; nil input defensively
 			}
 			if pr.err != nil {
 				r.err = fmt.Errorf("input %q failed", p.Name)
@@ -440,14 +636,12 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		}
 		if r.fn == nil {
 			r.err = fmt.Errorf("no function for node")
-			s.cancel()
 			return
 		}
 		start := time.Now()
 		value, err := r.fn(ctx, inputs)
 		if err != nil {
 			r.err = err
-			s.cancel()
 			return
 		}
 		elapsed := time.Since(start)
@@ -467,11 +661,18 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		n.Metrics.Known = true
 	}
 
+	// Publish the measured time for ancestor C(n) sums before any
+	// retirement can read it.
+	s.times[r.np.Index].Store(math.Float64bits(r.ownSecs))
+
 	// Retirement cascade: this node's completion may put parents (and
 	// itself, if it has no computing children) out of scope.
 	if r.state == core.StateCompute {
 		for _, p := range n.Parents() {
 			pr := s.runs[p]
+			if pr == nil {
+				continue
+			}
 			if atomic.AddInt32(&pr.pending, -1) == 0 {
 				s.retire(pr)
 			}
@@ -520,28 +721,21 @@ func (s *runState) retire(r *nodeRun) {
 		return
 	}
 
-	mandatory := e.Opts.MaterializeOutputs && s.outputs[n]
-	// Cumulative run time C(n) per Definition 6, the policy's payoff input.
-	// An ancestor's time is read only after observing its done channel
-	// closed (ownSecs is written before the deferred close, so the read is
-	// ordered after the write). The done-gate is load-bearing: a loaded
-	// node closes its done channel without waiting for its own parents, so
-	// an ancestor reachable only through a StateLoad node can still be
-	// executing when n retires — its unfinished time is simply not part of
-	// this chain's bill. Computed here, on the retiring goroutine, so the
+	mandatory := r.np.MandatoryMat
+	// Cumulative run time C(n) per Definition 6, the policy's payoff
+	// input. The plan precomputed the node's ancestor set as a bitset, so
+	// pricing C(n) is a bit scan over the atomic times table instead of a
+	// graph traversal: measured times of finished ancestors sum in, while
+	// pruned ancestors and still-running ones (reachable only through a
+	// loaded node) read as zero — the latter are simply not part of this
+	// chain's bill. Computed here, on the retiring goroutine, so the
 	// write-behind path can capture a finished value.
 	var cum float64
 	if !mandatory {
 		cum = r.ownSecs
-		for anc := range core.Ancestors(n) {
-			if ar := s.runs[anc]; ar != nil {
-				select {
-				case <-ar.done:
-					cum += ar.ownSecs
-				default:
-				}
-			}
-		}
+		s.plan.ForEachAncestor(r.np.Index, func(j int) {
+			cum += math.Float64frombits(s.times[j].Load())
+		})
 	}
 	if e.Opts.SyncMaterialization {
 		s.retireSync(r, key, mandatory, cum)
@@ -608,12 +802,12 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 
 // retireAsync is the write-behind path: hand the value to the store's
 // writer pool and return immediately, so the nodes waiting on this
-// goroutine's done channel are not held behind serialization or disk.
-// Values that can report their size cheaply (Sizer) get their policy
-// decision inline — skipping the enqueue entirely on a "no" — while the
-// rest defer the decision to the writer goroutine, which learns the size
-// by encoding there. The OnDone callback's writes to the nodeRun and node
-// metrics are published to Run by the store.Flush barrier.
+// goroutine are not held behind serialization or disk. Values that can
+// report their size cheaply (Sizer) get their policy decision inline —
+// skipping the enqueue entirely on a "no" — while the rest defer the
+// decision to the writer goroutine, which learns the size by encoding
+// there. The OnDone callback's writes to the nodeRun and node metrics are
+// published to Run by the store.Flush barrier.
 func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float64) {
 	e := s.engine
 	n := r.node

@@ -83,7 +83,12 @@ func newEngine(t *testing.T) *Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(st, -1)
+	e := New(st, -1)
+	// Pin the scheduler width so timing-sensitive assertions (component
+	// breakdowns, slowdown factors) behave identically on single-CPU CI
+	// runners and developer machines.
+	e.Opts.Parallelism = 4
+	return e
 }
 
 func TestRunComputesAllFirstIteration(t *testing.T) {

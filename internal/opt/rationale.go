@@ -1,0 +1,40 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"helix/internal/core"
+)
+
+// Rationale explains, in one phrase, why OPT-EXEC-PLAN assigned state s to
+// a node with the given costs. deterministic is the node's determinism
+// flag (Definition 3); live is its membership in the program slice (§5.4).
+// The phrasing mirrors the solver's actual structure: forced computes
+// (Constraint 1), missing materializations, and the local load-vs-compute
+// trade the min-cut resolves globally.
+func Rationale(c Costs, s core.State, deterministic, live bool) string {
+	switch s {
+	case core.StatePrune:
+		if !live {
+			return "outside the program slice: no output depends on it (§5.4)"
+		}
+		return "pruned: every consumer is loaded or pruned, so its value is never needed (Constraint 2 released)"
+	case core.StateLoad:
+		if math.IsInf(c.Compute, 1) || c.Compute == 0 {
+			return fmt.Sprintf("load: equivalent materialization available (%.3fs)", c.Load)
+		}
+		return fmt.Sprintf("load: materialized result (%.3fs) beats recomputing (%.3fs) and frees ancestors for pruning", c.Load, c.Compute)
+	default: // StateCompute
+		switch {
+		case c.MustCompute:
+			return "compute: operator changed this iteration (original, Constraint 1)"
+		case !deterministic:
+			return "compute: nondeterministic result has no equivalent materialization (Definition 3)"
+		case math.IsInf(c.Load, 1):
+			return "compute: no equivalent materialization to load"
+		default:
+			return fmt.Sprintf("compute: recomputing (%.3fs) beats loading (%.3fs) under the global plan", c.Compute, c.Load)
+		}
+	}
+}

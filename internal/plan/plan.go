@@ -1,0 +1,311 @@
+// Package plan extracts HELIX's planning pipeline — change tracking
+// (paper §4.2), program slicing (§5.4), and the MAX-FLOW reduction of
+// OPT-EXEC-PLAN (§5.2) — into a self-contained, inspectable artifact.
+//
+// A Planner takes the current workflow DAG, the previous iteration's DAG,
+// and a read-only view of the materialization store, and produces a Plan:
+// per-node execution states with costs, originality, liveness, a
+// per-decision rationale (why Load vs Compute vs Prune), precomputed
+// ancestor sets and cumulative times C(n) (Definition 6), and the
+// projected run time T(W, s) of Equation 1. The execution engine
+// (internal/exec) carries a Plan out verbatim; Session.Plan returns one to
+// callers without executing, and Plan.Explain renders the decision table
+// helixrun -explain prints. Classic plan → explain → execute layering:
+// the optimizer's choices become visible and testable in isolation
+// instead of living inline in the engine.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"helix/internal/core"
+	"helix/internal/opt"
+)
+
+// MatView is the read-only view of the materialization store the planner
+// consults. Lookup reports whether an equivalent materialization exists
+// under the given chain signature and, if so, its on-disk size;
+// EstimateLoad projects the time to load that many bytes. A nil view
+// plans as if the store were empty (no reuse).
+type MatView interface {
+	Lookup(key string) (size int64, ok bool)
+	EstimateLoad(size int64) time.Duration
+}
+
+// Options configures planning. The zero value plans with reuse and
+// pruning enabled and no mandatory output materialization.
+type Options struct {
+	// DisableReuse ignores existing materializations: every live node is
+	// computed (models KeystoneML and DeepDive, which never reuse across
+	// iterations). It also suppresses the purge spec.
+	DisableReuse bool
+	// DisablePruning turns off program slicing (ablation): every node is
+	// treated as live.
+	DisablePruning bool
+	// MaterializeOutputs marks computed output nodes for mandatory
+	// materialization regardless of the runtime policy (the paper's
+	// "mandatory output" drums in Figure 3).
+	MaterializeOutputs bool
+}
+
+// NodePlan is one node's planned treatment plus everything the decision
+// rested on.
+type NodePlan struct {
+	// Index is the node's position in Plan.Nodes (topological order).
+	Index int
+	// Node is the planned DAG node.
+	Node *core.Node
+	// State is the execution state OPT-EXEC-PLAN assigned (§5.1).
+	State core.State
+	// Live reports membership in the backward program slice from the
+	// outputs (§5.4); non-live nodes are always pruned.
+	Live bool
+	// Original reports that the node has no equivalent in the previous
+	// iteration (Definition 2) and must be recomputed (Constraint 1).
+	Original bool
+	// Output reports that the node is a declared workflow output.
+	Output bool
+	// MandatoryMat marks a computed output that will be materialized
+	// regardless of the runtime policy (Options.MaterializeOutputs).
+	MandatoryMat bool
+	// Costs are the solver inputs: compute time c_i, load time l_i
+	// (+Inf without an equivalent materialization), and the constraint
+	// flags. Zero for non-live nodes, which never reach the solver.
+	Costs opt.Costs
+	// ProjectedOwn is the node's own projected time t(n) under the plan:
+	// Costs.Compute if computed, Costs.Load if loaded, 0 if pruned.
+	ProjectedOwn float64
+	// ProjectedCum is the projected cumulative run time C(n) per
+	// Definition 6: ProjectedOwn plus the sum over all ancestors'
+	// ProjectedOwn. Zero at iteration 0, when no statistics exist yet.
+	ProjectedCum float64
+	// Rationale states, in one phrase, why the solver assigned State.
+	Rationale string
+}
+
+// PurgeSpec records the planner's purge decision: which store entries
+// survive the iteration. An entry is kept iff its key is a current chain
+// signature, or it belongs to an operator name that did not change this
+// iteration (a deprecated name's old results can never be reused, §6.6).
+// Nil when reuse is disabled. The executor applies it; planning itself
+// never mutates the store.
+type PurgeSpec struct {
+	// CurrentSigs is the set of chain signatures present in this
+	// iteration's DAG.
+	CurrentSigs map[string]bool
+	// DeprecatedNames is the set of operator names that are original this
+	// iteration: their previously stored results are stale.
+	DeprecatedNames map[string]bool
+}
+
+// Plan is a self-contained execution plan for one iteration: every
+// decision the engine will carry out, plus the evidence behind it.
+type Plan struct {
+	// Iteration is the iteration the plan was built for.
+	Iteration int
+	// Nodes holds the per-node plans in topological order.
+	Nodes []*NodePlan
+	// ProjectedSeconds is T(W, s) from Equation 1: the projected run time
+	// of the chosen states under the known costs.
+	ProjectedSeconds float64
+	// Counts tallies live nodes per assigned state (the Figure 8 series).
+	Counts map[core.State]int
+	// Purge is the materialization-purge decision; nil when reuse is
+	// disabled.
+	Purge *PurgeSpec
+
+	byNode map[*core.Node]*NodePlan
+	byName map[string]*NodePlan
+	// anc holds every node's ancestor set as a bitset over Plan.Nodes
+	// indices, ancWords words per node — V²/64 words total, computed once
+	// here so the executor's retirement path can price C(n) from measured
+	// times with a bit scan instead of an O(ancestors) graph traversal
+	// (map allocation and pointer chasing) per retirement.
+	anc      []uint64
+	ancWords int
+}
+
+// For returns the plan entry for a node of the planned DAG, or nil.
+func (p *Plan) For(n *core.Node) *NodePlan { return p.byNode[n] }
+
+// ByName returns the plan entry for the named node, or nil.
+func (p *Plan) ByName(name string) *NodePlan { return p.byName[name] }
+
+// ForEachAncestor calls fn with the Plan.Nodes index of every ancestor
+// (pruned included) of the node at index i, in ascending index order.
+func (p *Plan) ForEachAncestor(i int, fn func(j int)) {
+	row := p.anc[i*p.ancWords : (i+1)*p.ancWords]
+	for w, word := range row {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			fn(w*64 + b)
+		}
+	}
+}
+
+// Planner builds Plans. The zero value plans without reuse.
+type Planner struct {
+	// View is the materialization-store view; nil plans as if empty.
+	View MatView
+	// Opts configures planning.
+	Opts Options
+}
+
+// Plan runs the full planning pipeline against d for the given iteration:
+// change tracking versus prev (nil at iteration 0), program slicing, the
+// purge decision, cost assembly, and the OPT-EXEC-PLAN solve. It mutates
+// only d (signatures and carried metrics); prev and the store view are
+// read-only.
+func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: invalid workflow: %w", err)
+	}
+
+	// 1. Change tracking (§4.2).
+	d.ComputeSignatures()
+	d.CarryMetrics(prev)
+	originals := d.OriginalNodes(prev)
+
+	// 2. Program slicing (§5.4).
+	live := d.Slice()
+	if pl.Opts.DisablePruning {
+		for _, n := range d.Nodes() {
+			live[n] = true
+		}
+	}
+
+	reuse := !pl.Opts.DisableReuse && pl.View != nil
+
+	// 3. Purge decision: an original node's old results can never be
+	// reused (§6.6). Recorded here, applied by the executor. Suppressed
+	// when reuse is off: the no-reuse systems (KeystoneML, DeepDive)
+	// never touch prior results, stale or not.
+	var purge *PurgeSpec
+	if !pl.Opts.DisableReuse {
+		purge = &PurgeSpec{
+			CurrentSigs:     make(map[string]bool, d.Len()),
+			DeprecatedNames: make(map[string]bool),
+		}
+		for _, n := range d.Nodes() {
+			purge.CurrentSigs[n.ChainSignature()] = true
+		}
+		for n := range originals {
+			purge.DeprecatedNames[n.Name] = true
+		}
+	}
+
+	// 4. Cost model (§5.1) over the live slice.
+	costs := make(map[*core.Node]opt.Costs, d.Len())
+	for _, n := range d.Nodes() {
+		if !live[n] {
+			continue
+		}
+		c := opt.Costs{
+			Compute:     n.Metrics.Compute.Seconds(),
+			Load:        math.Inf(1),
+			MustCompute: originals[n],
+		}
+		// Nondeterministic nodes never have an equivalent materialization
+		// (Definition 3): a stored result is one random draw and must not
+		// stand in for a fresh computation.
+		if reuse && n.Deterministic {
+			if size, ok := pl.View.Lookup(n.ChainSignature()); ok {
+				c.Load = pl.View.EstimateLoad(size).Seconds()
+			}
+		}
+		costs[n] = c
+	}
+	for _, o := range d.Outputs() {
+		if c, ok := costs[o]; ok {
+			c.Required = true
+			costs[o] = c
+		}
+	}
+
+	// 5. OPT-EXEC-PLAN (Problem 1) via the MAX-FLOW reduction.
+	sol := opt.OptimalStates(d, costs)
+
+	// 6. Assemble the artifact: states, rationale, ancestor sets, and
+	// cumulative times, all in topological order.
+	order := d.TopoSort()
+	p := &Plan{
+		Iteration:        iteration,
+		Nodes:            make([]*NodePlan, len(order)),
+		ProjectedSeconds: sol.Time,
+		Counts:           make(map[core.State]int, 3),
+		Purge:            purge,
+		byNode:           make(map[*core.Node]*NodePlan, len(order)),
+		byName:           make(map[string]*NodePlan, len(order)),
+	}
+	outputs := make(map[*core.Node]bool, len(d.Outputs()))
+	for _, o := range d.Outputs() {
+		outputs[o] = true
+	}
+	idx := make(map[*core.Node]int, len(order))
+	for i, n := range order {
+		idx[n] = i
+	}
+
+	// Ancestor reachability as bitsets over topological indices: row i is
+	// the union of every parent's row plus the parent itself. One
+	// O(V·E/64) pass replaces the per-retirement graph walks the engine
+	// used to pay (O(n²) pointer-chasing per run on deep DAGs). The whole
+	// table is V²/64 words — ~12 MB even at 10k nodes — and is retained
+	// on the Plan for the executor's C(n) pricing.
+	words := (len(order) + 63) / 64
+	anc := make([]uint64, len(order)*words)
+	row := func(i int) []uint64 { return anc[i*words : (i+1)*words] }
+	p.anc, p.ancWords = anc, words
+	for i, n := range order {
+		ri := row(i)
+		for _, par := range n.Parents() {
+			j := idx[par]
+			for w, word := range row(j) {
+				ri[w] |= word
+			}
+			ri[j/64] |= 1 << uint(j%64)
+		}
+	}
+
+	own := make([]float64, len(order))
+	for i, n := range order {
+		state := sol.States[n]
+		np := &NodePlan{
+			Index:        i,
+			Node:         n,
+			State:        state,
+			Live:         live[n],
+			Original:     originals[n],
+			Output:       outputs[n],
+			Costs:        costs[n], // zero value for non-live nodes
+			MandatoryMat: pl.Opts.MaterializeOutputs && outputs[n] && state == core.StateCompute,
+		}
+		switch state {
+		case core.StateCompute:
+			np.ProjectedOwn = np.Costs.Compute
+		case core.StateLoad:
+			np.ProjectedOwn = np.Costs.Load
+		}
+		own[i] = np.ProjectedOwn
+		np.Rationale = opt.Rationale(np.Costs, state, n.Deterministic, live[n])
+		if live[n] {
+			p.Counts[state]++
+		}
+		p.Nodes[i] = np
+		p.byNode[n] = np
+		p.byName[n.Name] = np
+	}
+
+	// Projected cumulative times from the bitsets (pruned ancestors carry
+	// zero ProjectedOwn, so no filtering is needed).
+	for i, np := range p.Nodes {
+		cum := own[i]
+		p.ForEachAncestor(i, func(j int) { cum += own[j] })
+		np.ProjectedCum = cum
+	}
+	return p, nil
+}

@@ -94,6 +94,11 @@ type IterationMetrics struct {
 	// Seconds is the iteration's wall-clock run time (includes
 	// materialization time, as the paper measures).
 	Seconds float64
+	// ProjectedSeconds is T(W,s) from Equation 1: what the executed plan
+	// projected the iteration would cost under the known per-node
+	// statistics. Comparing it against Seconds measures the cost model's
+	// fidelity (0 at iteration 0, when no statistics exist yet).
+	ProjectedSeconds float64
 	// Breakdown is per-component operator time (Figure 6).
 	Breakdown map[core.Component]float64
 	// MatSeconds is materialization overhead (Figure 6, gray). With
@@ -158,6 +163,9 @@ type Config struct {
 	// keeps the system's own setting). Used by the write-behind A/B
 	// benchmark.
 	Mat MatMode
+	// Parallelism bounds the execution scheduler's worker pool (0 keeps
+	// the session default of GOMAXPROCS).
+	Parallelism int
 }
 
 // MatMode selects how a simulated run materializes intermediates.
@@ -216,6 +224,9 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 	if cfg.StorageBudget > 0 {
 		opts.StorageBudget = cfg.StorageBudget
 	}
+	if cfg.Parallelism > 0 {
+		opts.Parallelism = cfg.Parallelism
+	}
 	sess, err := helix.NewSession(dir, opts)
 	if err != nil {
 		return nil, err
@@ -240,17 +251,18 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 			return nil, fmt.Errorf("sim: %s/%s iteration %d: %w", wl.Name(), sys.Name, t, err)
 		}
 		m := IterationMetrics{
-			Iteration:    t,
-			Type:         seq[t],
-			Seconds:      out.Wall.Seconds(),
-			Breakdown:    make(map[core.Component]float64, 3),
-			MatSeconds:   out.MatTime.Seconds(),
-			FlushSeconds: out.FlushWait.Seconds(),
-			StorageBytes: out.StorageBytes,
-			PeakMemBytes: out.PeakMemBytes,
-			AvgMemBytes:  out.AvgMemBytes,
-			States:       out.StateCounts,
-			Outputs:      out.Values,
+			Iteration:        t,
+			Type:             seq[t],
+			Seconds:          out.Wall.Seconds(),
+			ProjectedSeconds: projectedSeconds(out),
+			Breakdown:        make(map[core.Component]float64, 3),
+			MatSeconds:       out.MatTime.Seconds(),
+			FlushSeconds:     out.FlushWait.Seconds(),
+			StorageBytes:     out.StorageBytes,
+			PeakMemBytes:     out.PeakMemBytes,
+			AvgMemBytes:      out.AvgMemBytes,
+			States:           out.StateCounts,
+			Outputs:          out.Values,
 		}
 		for comp, d := range out.Breakdown {
 			m.Breakdown[comp] = d.Seconds()
@@ -258,4 +270,14 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 		res.Metrics = append(res.Metrics, m)
 	}
 	return res, nil
+}
+
+// projectedSeconds extracts the executed plan's Equation-1 projection
+// from a run result; the harness consumes the very plan the engine ran,
+// so figure series and plan diagnostics can never drift apart.
+func projectedSeconds(res *helix.Result) float64 {
+	if res.Plan == nil {
+		return 0
+	}
+	return res.Plan.ProjectedSeconds
 }

@@ -85,6 +85,10 @@ type Options struct {
 	// MatWriters sizes the store's background writer pool for write-behind
 	// materialization; ≤0 uses the store default.
 	MatWriters int
+	// Parallelism bounds the execution scheduler's worker pool: at most
+	// this many operators run concurrently, regardless of DAG width. ≤0
+	// uses runtime.GOMAXPROCS(0).
+	Parallelism int
 }
 
 // DefaultStorageBudget is the paper's experimental storage budget (§6.3).
@@ -174,6 +178,7 @@ func NewSession(dir string, options ...Options) (*Session, error) {
 			SampleMemory:        o.SampleMemory,
 			DisablePruning:      o.DisablePruning,
 			SyncMaterialization: o.SyncMaterialization,
+			Parallelism:         o.Parallelism,
 		},
 	}
 	s := &Session{store: st, engine: eng, dir: dir}
@@ -183,7 +188,14 @@ func NewSession(dir string, options ...Options) (*Session, error) {
 
 // loadState restores persisted change-tracking state; absence or
 // corruption silently degrades to a fresh session (everything original).
+// Stale saveState temp files (a process that crashed between CreateTemp
+// and Rename) are swept here so they cannot accumulate across restarts.
 func (s *Session) loadState() {
+	if stale, err := filepath.Glob(filepath.Join(s.dir, sessionStateFile+".tmp-*")); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
 	data, err := os.ReadFile(filepath.Join(s.dir, sessionStateFile))
 	if err != nil {
 		return
@@ -197,7 +209,11 @@ func (s *Session) loadState() {
 }
 
 // saveState persists change-tracking state for restart resumption. A
-// failed write is non-fatal: the next process simply recomputes.
+// failed write is non-fatal: the next process simply recomputes. The
+// write is atomic — temp file then rename — so a crash mid-write can
+// never leave a truncated session.json behind; the previous snapshot (or
+// none) survives intact and loadState's corruption handling is reserved
+// for genuinely external damage.
 func (s *Session) saveState() {
 	if s.prev == nil {
 		return
@@ -207,7 +223,27 @@ func (s *Session) saveState() {
 	if err != nil {
 		return
 	}
-	_ = os.WriteFile(filepath.Join(s.dir, sessionStateFile), data, 0o644)
+	tmp, err := os.CreateTemp(s.dir, sessionStateFile+".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	// CreateTemp opens 0600; restore the file's historical 0644 so external
+	// tooling inspecting the session directory keeps read access.
+	merr := tmp.Chmod(0o644)
+	// Sync before the rename: POSIX does not order data writes against the
+	// rename, so without it a system crash could make the new name durable
+	// while its contents are not — the truncated-file outcome this whole
+	// dance exists to rule out.
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || merr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, sessionStateFile)); err != nil {
+		os.Remove(tmp.Name())
+	}
 }
 
 // Iteration returns the index of the next iteration to run (0-based).
@@ -215,6 +251,22 @@ func (s *Session) Iteration() int { return s.iter }
 
 // StorageBytes reports the store's current on-disk usage (Figure 9c,d).
 func (s *Session) StorageBytes() int64 { return s.store.UsedBytes() }
+
+// Plan compiles wf and returns the execution plan Run would carry out for
+// it right now — per-node states, costs, originality, liveness, the
+// projected run time T(W,s) of Equation 1, and a rationale for every
+// decision — without executing anything. Planning is read-only with
+// respect to the session: the iteration counter, the previous iteration's
+// DAG, and the materialization store are left untouched, so Plan may be
+// called any number of times (and interleaved with Run) purely for
+// inspection. Render the result with Plan.Explain() or Workflow.PlanDOT.
+func (s *Session) Plan(wf *Workflow) (*Plan, error) {
+	prog, err := wf.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Plan(prog.DAG, s.prev, s.iter)
+}
 
 // Run compiles and executes one iteration of wf, then advances the
 // session: the executed DAG becomes the previous iteration for change
