@@ -43,11 +43,13 @@ func main() {
 	dir := flag.String("dir", "", "materialization directory (default: temp, removed at exit)")
 	writeBehind := flag.Bool("writebehind", false, "materialize via the background writer pool instead of the paper-faithful inline write")
 	parallelism := flag.Int("parallelism", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
+	planCache := flag.Bool("plancache", true, "reuse the previous iteration's plan when the planning fingerprint matches")
+	sched := flag.String("sched", "critpath", "ready-queue ordering: critpath (longest projected chain first) or fifo")
 	explain := flag.Bool("explain", false, "print the optimizer's per-node decision table before each iteration")
 	verbose := flag.Bool("v", false, "print per-operator states")
 	flag.Parse()
 
-	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *explain, *verbose); err != nil {
+	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *planCache, *sched, *explain, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "helixrun:", err)
 		os.Exit(1)
 	}
@@ -62,7 +64,7 @@ func systemByName(name string) (sim.System, error) {
 	return sim.System{}, fmt.Errorf("unknown system %q", name)
 }
 
-func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, explain, verbose bool) error {
+func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, planCache bool, sched string, explain, verbose bool) error {
 	workloads.RegisterAll()
 	sys, err := systemByName(system)
 	if err != nil {
@@ -87,6 +89,17 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 		opts.SyncMaterialization = false
 	}
 	opts.Parallelism = parallelism
+	if !planCache {
+		opts.PlanCache = helix.PlanCacheOff
+	}
+	switch sched {
+	case "critpath", "":
+		opts.CriticalPath = helix.SchedCriticalPath
+	case "fifo":
+		opts.CriticalPath = helix.SchedFIFO
+	default:
+		return fmt.Errorf("unknown -sched %q (want critpath or fifo)", sched)
+	}
 	sess, err := helix.NewSession(dir, opts)
 	if err != nil {
 		return err
@@ -103,7 +116,9 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 	// seconds covers the compute critical path; flush(s) is the extra wait
 	// at the write-behind barrier before Run returns (0 when inline).
 	// Both count toward cum — the latency the user actually observes.
-	fmt.Println("iter  type  seconds  flush(s)    cum        Sc  Sl  Sp   mat(s)  storage(KB)")
+	// plan(s) is the planning share of seconds, with the plan-cache
+	// outcome (cold/partial/hit) beside it.
+	fmt.Println("iter  type  seconds  flush(s)    cum      plan(s)  cache     Sc  Sl  Sp   mat(s)  storage(KB)")
 	for t := 0; t < iters; t++ {
 		if t > 0 {
 			if sys.DPROnly && seq[t] != core.DPR {
@@ -125,8 +140,13 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}
 		cum += res.Wall.Seconds() + res.FlushWait.Seconds()
-		fmt.Printf("%-5d %-5s %8.3f  %8.3f  %8.3f   %3d %3d %3d  %6.3f  %10d\n",
+		outcome := "-"
+		if res.Plan != nil {
+			outcome = res.Plan.Cache.String()
+		}
+		fmt.Printf("%-5d %-5s %8.3f  %8.3f  %8.3f  %7.4f  %-7s  %3d %3d %3d  %6.3f  %10d\n",
 			t, seq[t], res.Wall.Seconds(), res.FlushWait.Seconds(), cum,
+			res.PlanTime.Seconds(), outcome,
 			res.StateCounts[core.StateCompute],
 			res.StateCounts[core.StateLoad],
 			res.StateCounts[core.StatePrune],

@@ -47,6 +47,29 @@ type Plan = plan.Plan
 // NodePlan is one operator's planned treatment within a Plan.
 type NodePlan = plan.NodePlan
 
+// PlanFingerprint is the stable hash over every planning input a Plan
+// was derived from (DAG topology, chain signatures, store view, carried
+// statistics, options). Two plans with equal fingerprints are
+// equivalent; the session's plan cache reuses the previous iteration's
+// plan whenever the fingerprints match.
+type PlanFingerprint = plan.Fingerprint
+
+// PlanCacheOutcome reports how a plan was obtained: a cold solve, a
+// partial re-solve of changed components, or a wholesale cache hit. See
+// Plan.Cache.
+type PlanCacheOutcome = plan.CacheOutcome
+
+// Plan cache outcomes.
+const (
+	PlanCacheCold    = plan.CacheCold
+	PlanCachePartial = plan.CachePartial
+	PlanCacheHit     = plan.CacheHit
+)
+
+// PlanCacheStats counts a session's plan-cache hits, partial hits, and
+// misses; see Session.PlanCacheStats.
+type PlanCacheStats = plan.CacheStats
+
 // Value is the unit of data flowing between operators: a data collection,
 // an ML model, or a scalar (paper §3.2: "A HELIX operator takes one or
 // more DCs and outputs DCs, ML models, or scalars").

@@ -47,7 +47,13 @@ type Series struct {
 	// Projected is the per-iteration T(W,s) projection of the executed
 	// plan (Equation 1) — the optimizer's own forecast, recorded beside
 	// the measured Seconds so cost-model fidelity is benchmarkable.
-	Projected       []float64
+	Projected []float64
+	// PlanSeconds is the per-iteration planning time; PlanCache is the
+	// matching cache outcome ("cold", "partial", "hit"). Together they
+	// quantify what the plan cache saves: the cold-vs-cached delta per
+	// iteration.
+	PlanSeconds     []float64
+	PlanCache       []string
 	Cumulative      []float64
 	Storage         []int64
 	PeakMem, AvgMem []uint64
@@ -62,6 +68,8 @@ func toSeries(r *sim.SeriesResult) Series {
 		s.Types = append(s.Types, m.Type)
 		s.Seconds = append(s.Seconds, m.Seconds)
 		s.Projected = append(s.Projected, m.ProjectedSeconds)
+		s.PlanSeconds = append(s.PlanSeconds, m.PlanSeconds)
+		s.PlanCache = append(s.PlanCache, m.PlanCache)
 		s.Storage = append(s.Storage, m.StorageBytes)
 		s.PeakMem = append(s.PeakMem, m.PeakMemBytes)
 		s.AvgMem = append(s.AvgMem, m.AvgMemBytes)

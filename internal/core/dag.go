@@ -148,6 +148,25 @@ type DAG struct {
 	nodes   []*Node
 	byName  map[string]*Node
 	outputs []*Node
+	// bySig is the lazily built chain-signature index used when this DAG
+	// serves as the previous iteration for change tracking; invalidated
+	// whenever signatures are recomputed. With equal signatures (identical
+	// duplicated subgraphs) the last node wins, matching the historical
+	// map-build behavior.
+	bySig map[string]*Node
+}
+
+// SigIndex returns the signature→node index, building it on first use.
+// Valid only after ComputeSignatures (or FromSnapshot) populated the
+// chain signatures. The returned map must not be modified.
+func (d *DAG) SigIndex() map[string]*Node {
+	if d.bySig == nil {
+		d.bySig = make(map[string]*Node, len(d.nodes))
+		for _, n := range d.nodes {
+			d.bySig[n.chainSig] = n
+		}
+	}
+	return d.bySig
 }
 
 // NewDAG returns an empty workflow DAG.
@@ -281,6 +300,29 @@ func (h *nodeHeap) Pop() any {
 // children). Ties are broken by insertion order (node ID), making the
 // result deterministic: among all ready nodes, the lowest ID comes first.
 func (d *DAG) TopoSort() []*Node {
+	// Fast path: when every edge runs from a lower to a higher ID,
+	// insertion order is itself the answer — the heap-based Kahn below,
+	// with its min-ID tie-break, provably emits exactly 0,1,2,… in that
+	// case (induction: after popping 0..k-1, node k's parents are all
+	// popped, and k is the minimum remaining ID). DSL-compiled workflows
+	// always qualify, since operators must be declared before use, so the
+	// planner's repeated sorts cost one O(E) scan instead of heap churn.
+	ordered := true
+scan:
+	for _, n := range d.nodes {
+		for _, c := range n.children {
+			if c.ID < n.ID {
+				ordered = false
+				break scan
+			}
+		}
+	}
+	if ordered {
+		out := make([]*Node, len(d.nodes))
+		copy(out, d.nodes)
+		return out
+	}
+
 	// Node IDs are dense (AddNode assigns them sequentially and nodes are
 	// never removed), so plain slices replace maps here.
 	indeg := make([]int, len(d.nodes))
@@ -381,21 +423,34 @@ func (d *DAG) Slice() map[*Node]bool {
 // materialization (Definition 3) — which the execution engine enforces by
 // never materializing or loading such nodes.
 func (d *DAG) ComputeSignatures() {
+	// One digest and scratch buffer serve the whole pass: signature
+	// computation runs on every iteration's planning path (a freshly
+	// compiled DAG has no signatures), so per-node allocations here were
+	// measurable on 1000-node workflows.
+	h := sha256.New()
+	var sum [sha256.Size]byte
+	var buf []byte
+	var sigs []string
 	for _, n := range d.TopoSort() {
-		h := sha256.New()
-		h.Write([]byte(n.OpSignature))
-		h.Write([]byte{0})
-		sigs := make([]string, 0, len(n.parents))
+		h.Reset()
+		buf = append(buf[:0], n.OpSignature...)
+		buf = append(buf, 0)
+		sigs = sigs[:0]
 		for _, p := range n.parents {
 			sigs = append(sigs, p.chainSig)
 		}
-		sort.Strings(sigs)
-		for _, s := range sigs {
-			h.Write([]byte(s))
-			h.Write([]byte{0})
+		if len(sigs) > 1 {
+			sort.Strings(sigs)
 		}
-		n.chainSig = hex.EncodeToString(h.Sum(nil))
+		for _, s := range sigs {
+			buf = append(buf, s...)
+			buf = append(buf, 0)
+		}
+		h.Write(buf)
+		h.Sum(sum[:0])
+		n.chainSig = hex.EncodeToString(sum[:])
 	}
+	d.bySig = nil // signatures changed; rebuild the index on next use
 }
 
 // OriginalNodes compares this DAG against the previous iteration's DAG and
@@ -410,12 +465,9 @@ func (d *DAG) OriginalNodes(prev *DAG) map[*Node]bool {
 		}
 		return orig
 	}
-	prevSigs := make(map[string]bool, len(prev.nodes))
-	for _, n := range prev.nodes {
-		prevSigs[n.chainSig] = true
-	}
+	prevSigs := prev.SigIndex()
 	for _, n := range d.nodes {
-		if !prevSigs[n.chainSig] {
+		if _, ok := prevSigs[n.chainSig]; !ok {
 			orig[n] = true
 		}
 	}
@@ -430,10 +482,7 @@ func (d *DAG) CarryMetrics(prev *DAG) {
 	if prev == nil {
 		return
 	}
-	bySig := make(map[string]*Node, len(prev.nodes))
-	for _, n := range prev.nodes {
-		bySig[n.chainSig] = n
-	}
+	bySig := prev.SigIndex()
 	for _, n := range d.nodes {
 		if p, ok := bySig[n.chainSig]; ok && p.Metrics.Known {
 			n.Metrics = p.Metrics

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +100,34 @@ type Options struct {
 	// count): loads are disk/throttle-bound, not CPU-bound, and must not
 	// serialize behind compute on narrow hosts.
 	Parallelism int
+	// Sched selects the ready-queue ordering. The zero value,
+	// SchedCriticalPath, pops the ready node with the longest projected
+	// downstream compute chain first (NodePlan.ProjectedTail), so
+	// stragglers start early on unbalanced DAGs; when no projections
+	// exist (iteration 0) all priorities are zero and the order degrades
+	// to exact FIFO. SchedFIFO forces pure arrival order.
+	Sched SchedMode
+}
+
+// SchedMode selects the scheduler's ready-queue ordering policy.
+type SchedMode int
+
+const (
+	// SchedCriticalPath orders the ready queue by the plan's projected
+	// downstream critical path, longest first, falling back to FIFO when
+	// projections are absent. The default.
+	SchedCriticalPath SchedMode = iota
+	// SchedFIFO preserves pure arrival order (the historical behavior);
+	// kept for A/B benchmarking and as an escape hatch.
+	SchedFIFO
+)
+
+// String names the mode for flags and benchmark tables.
+func (m SchedMode) String() string {
+	if m == SchedFIFO {
+		return "fifo"
+	}
+	return "critpath"
 }
 
 // NodeReport is the per-node outcome of a run.
@@ -128,6 +157,12 @@ type Result struct {
 	// With SyncMaterialization, Wall includes all materialization time,
 	// as the paper measures.
 	Wall time.Duration
+	// PlanTime is the portion of Wall spent planning: change tracking,
+	// slicing, cost assembly, fingerprinting, and — unless the plan cache
+	// hit — the OPT-EXEC-PLAN solve. Zero when Execute was called with a
+	// prebuilt plan. Plan.Cache says whether this iteration's planning
+	// was cold, partial, or a cache hit.
+	PlanTime time.Duration
 	// FlushWait is the time Run spent blocked at the store's Flush
 	// barrier after computation finished, waiting for write-behind
 	// stragglers. Zero under SyncMaterialization.
@@ -149,6 +184,24 @@ type Result struct {
 type Engine struct {
 	Store *store.Store
 	Opts  Options
+	// Cache, when non-nil, enables incremental planning: successive Plan
+	// calls fingerprint their inputs against the previous iteration's
+	// plan and reuse whatever the fingerprint proves unchanged —
+	// wholesale on a full match (zero solves), per-component on a
+	// partial one. Session installs one unless the caller disabled it; a
+	// bare Engine plans cold every time.
+	Cache *plan.Cache
+
+	// planMu serializes planning: the pooled solver's scratch buffers
+	// (and the cache's planner pipeline) are not safe for concurrent
+	// use, and Engine.Plan/Run were safe to call concurrently on
+	// distinct programs before the solver was pooled. Planning is
+	// millisecond-scale, so serializing it is cheap insurance.
+	planMu sync.Mutex
+	// solver is the pooled OPT-EXEC-PLAN solver: its flow network and
+	// buffers are reused across iterations instead of reallocated per
+	// solve.
+	solver opt.Solver
 }
 
 // New returns an engine with the paper's default configuration: streaming
@@ -181,6 +234,8 @@ func (v storeView) EstimateLoad(size int64) time.Duration {
 // d itself (signatures and carried metrics). prev is the previous
 // iteration's DAG (nil at iteration 0) used for change tracking.
 func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, error) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	pl := &plan.Planner{
 		// The planner's Options.DisableReuse is the single switch: it
 		// ignores the view and suppresses the purge spec by itself.
@@ -190,6 +245,8 @@ func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, e
 			DisablePruning:     e.Opts.DisablePruning,
 			MaterializeOutputs: e.Opts.MaterializeOutputs,
 		},
+		Cache:  e.Cache,
+		Solver: &e.solver,
 	}
 	p, err := pl.Plan(d, prev, iteration)
 	if err != nil {
@@ -221,6 +278,12 @@ type nodeRun struct {
 	// enqueues the node when it reaches zero. Loaded nodes start at zero:
 	// they read from disk, not from parents.
 	deps int32
+	// pri is the run's scheduling priority: the plan's projected
+	// downstream critical path (NodePlan.ProjectedTail) under
+	// SchedCriticalPath, zero under SchedFIFO. seq is its arrival number
+	// in the ready queue, the FIFO tie-break among equal priorities.
+	pri float64
+	seq int
 	// pending counts children in Compute state that still need this node's
 	// value; when it reaches zero the node is out of scope (Definition 5).
 	pending int32
@@ -240,8 +303,10 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 	}
 	// Planning is part of the iteration's critical path: Result.Wall is
 	// measured from Run entry, so the solve and ancestor-table passes
-	// stay on the bill exactly as when they lived inline here.
-	return e.execute(ctx, prog, p, start)
+	// stay on the bill exactly as when they lived inline here. The
+	// planning share is reported separately as Result.PlanTime, which is
+	// what the plan cache shrinks on fingerprint hits.
+	return e.execute(ctx, prog, p, start, time.Since(start))
 }
 
 // Execute carries out a previously built plan against the program it was
@@ -251,10 +316,10 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 // bounded scheduler. Result.Wall is measured from Execute entry; Run
 // measures from its own entry so planning time is included there.
 func (e *Engine) Execute(ctx context.Context, prog *Program, p *plan.Plan) (*Result, error) {
-	return e.execute(ctx, prog, p, time.Now())
+	return e.execute(ctx, prog, p, time.Now(), 0)
 }
 
-func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time, planTime time.Duration) (*Result, error) {
 	d := prog.DAG
 	// Fail fast on plan/program mispairing: fn lookup is by node pointer,
 	// so a plan built from a different Compile of even the same workflow
@@ -408,6 +473,7 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	}
 	res.StorageBytes = e.Store.UsedBytes()
 	res.Wall = computeWall
+	res.PlanTime = planTime
 	res.FlushWait = flushWait
 	return res, nil
 }
@@ -438,17 +504,25 @@ func firstError(runs []*nodeRun) error {
 const minLoadWorkers = 4
 
 // schedule executes every non-pruned run on bounded worker pools: a
-// ready queue fed by parent-completion counts, drained by
+// priority ready queue fed by parent-completion counts, drained by
 // Options.Parallelism compute workers (default GOMAXPROCS), plus a small
 // separate I/O pool for Load-state nodes — loads are disk/throttle-bound,
 // and making them occupy compute slots would serialize their sleeps on
 // narrow hosts, skewing the very reuse advantage loading exists to
 // provide. Goroutine count is therefore independent of DAG size —
 // thousands-of-node DAGs run on fixed pools instead of a goroutine per
-// node. The queue channels' capacities cover every schedulable node, so
-// completion bookkeeping never blocks; the compute queue is closed when
-// the last node finishes, and workers also exit on context cancellation
-// (an operator failure cancels).
+// node.
+//
+// Dispatch is per-class. Compute runs go through the heap-based
+// readyQueue ordered by the plan's projected downstream critical path
+// (see Options.Sched), so the longest remaining chain claims a worker
+// first; the queue degrades to exact FIFO when projections are absent or
+// SchedFIFO is set. Load runs have no in-DAG dependencies and are
+// prefilled into a channel — already sorted by the same priority, since
+// a static order is all a pre-known set needs. The compute queue closes
+// when the last node finishes; on failure the run context is canceled,
+// which closes the queue (dropping not-yet-started work) and wakes every
+// worker.
 func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, scheduled int) {
 	if scheduled == 0 {
 		return
@@ -460,35 +534,51 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 	if par > scheduled {
 		par = scheduled
 	}
+	critPath := e.Opts.Sched != SchedFIFO
+	if critPath {
+		for _, r := range runs {
+			r.pri = r.np.ProjectedTail
+		}
+	}
 
 	// Loads have no in-DAG dependencies (they read disk, not parents), so
 	// the I/O queue is fully populated here and never written again.
-	nLoads := 0
+	var loadRuns []*nodeRun
 	for _, r := range runs {
 		if r.state == core.StateLoad {
-			nLoads++
+			loadRuns = append(loadRuns, r)
 		}
 	}
-	ready := make(chan *nodeRun, scheduled-nLoads)
-	loads := make(chan *nodeRun, nLoads)
-	for _, r := range runs { // topological order: parents enqueue first
-		switch {
-		case r.state == core.StatePrune:
-		case r.state == core.StateLoad:
-			loads <- r
-		case atomic.LoadInt32(&r.deps) == 0:
-			ready <- r
-		}
+	if critPath {
+		// Longest projected downstream chain loads first; stable sort
+		// keeps plan order among ties, matching the FIFO fallback.
+		sort.SliceStable(loadRuns, func(i, j int) bool { return loadRuns[i].pri > loadRuns[j].pri })
+	}
+	loads := make(chan *nodeRun, len(loadRuns))
+	for _, r := range loadRuns {
+		loads <- r
 	}
 	close(loads)
+
+	ready := newReadyQueue()
+	for _, r := range runs { // topological order: parents enqueue first
+		if r.state == core.StateCompute && atomic.LoadInt32(&r.deps) == 0 {
+			ready.push(r)
+		}
+	}
+	// Cancellation (operator failure, caller timeout) closes the ready
+	// queue: queued-but-unstarted nodes are dropped and blocked workers
+	// wake and exit, exactly as the old select-on-ctx.Done behaved.
+	stopWatch := context.AfterFunc(ctx, ready.close)
+	defer stopWatch()
+
 	var remaining atomic.Int32
 	remaining.Store(int32(scheduled))
-	var closeReady sync.Once
 
 	// finish runs a completed node's scheduling bookkeeping: release
 	// children whose last dependency this was, and close the compute
 	// queue after the overall last node (which may be a load). On failure,
-	// descendants can never run; cancel wakes every worker instead
+	// descendants can never run; cancel closes the queue instead
 	// (remaining never reaches zero).
 	finish := func(r *nodeRun) {
 		if r.err != nil {
@@ -501,27 +591,11 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 				continue
 			}
 			if atomic.AddInt32(&cr.deps, -1) == 0 {
-				ready <- cr
+				ready.push(cr)
 			}
 		}
 		if remaining.Add(-1) == 0 {
-			closeReady.Do(func() { close(ready) })
-		}
-	}
-	worker := func(queue chan *nodeRun) {
-		for {
-			var r *nodeRun
-			select {
-			case rr, ok := <-queue:
-				if !ok {
-					return
-				}
-				r = rr
-			case <-ctx.Done():
-				return
-			}
-			st.execNode(ctx, r)
-			finish(r)
+			ready.close()
 		}
 	}
 
@@ -530,18 +604,38 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(ready)
+			for {
+				r, ok := ready.pop()
+				if !ok {
+					return
+				}
+				st.execNode(ctx, r)
+				finish(r)
+			}
 		}()
 	}
 	ioPar := max(par, minLoadWorkers)
-	if ioPar > nLoads {
-		ioPar = nLoads
+	if ioPar > len(loadRuns) {
+		ioPar = len(loadRuns)
 	}
 	for w := 0; w < ioPar; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			worker(loads)
+			for {
+				var r *nodeRun
+				select {
+				case rr, ok := <-loads:
+					if !ok {
+						return
+					}
+					r = rr
+				case <-ctx.Done():
+					return
+				}
+				st.execNode(ctx, r)
+				finish(r)
+			}
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,119 @@
+package exec
+
+import "sync"
+
+// readyQueue is the compute scheduler's ready set: a priority queue
+// ordered by each run's scheduling priority (the plan's projected
+// downstream critical path under SchedCriticalPath, constant zero under
+// SchedFIFO), with arrival order as the tie-break. Equal priorities —
+// including the all-zero case of an iteration with no carried statistics
+// — therefore reproduce exact FIFO behavior, which is the documented
+// fallback when projections are absent.
+//
+// Unlike the buffered channel it replaces, the queue reorders on every
+// pop, so a straggler chain enqueued behind a pile of short branches
+// starts as soon as a worker frees up. close wakes all blocked workers
+// and drops anything still queued; it is called both when the last node
+// completes (queue necessarily empty) and via context cancellation on
+// failure (queued nodes must not start).
+type readyQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	heap []*nodeRun
+	seq  int
+	done bool
+}
+
+func newReadyQueue() *readyQueue {
+	q := &readyQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a run. Pushes after close are dropped: the run's
+// descendants can never execute anyway (the scheduler is unwinding).
+func (q *readyQueue) push(r *nodeRun) {
+	q.mu.Lock()
+	if q.done {
+		q.mu.Unlock()
+		return
+	}
+	r.seq = q.seq
+	q.seq++
+	q.heap = append(q.heap, r)
+	q.up(len(q.heap) - 1)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a run is available or the queue is closed. The second
+// result is false exactly when the worker should exit.
+func (q *readyQueue) pop() (*nodeRun, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	r := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+	return r, true
+}
+
+// close marks the queue finished, drops queued runs, and wakes every
+// blocked worker.
+func (q *readyQueue) close() {
+	q.mu.Lock()
+	q.done = true
+	q.heap = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// less orders by priority descending (longest projected tail first),
+// then by arrival ascending — exact FIFO among equals.
+func (q *readyQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.pri != b.pri {
+		return a.pri > b.pri
+	}
+	return a.seq < b.seq
+}
+
+func (q *readyQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			return
+		}
+		q.heap[i], q.heap[p] = q.heap[p], q.heap[i]
+		i = p
+	}
+}
+
+func (q *readyQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+	}
+}

@@ -25,11 +25,19 @@ type edge struct {
 }
 
 // Graph is a flow network over nodes 0..N-1. The zero value is not usable;
-// construct with New.
+// construct with New. A Graph can be reused across solves with Reset,
+// which retains the edge and adjacency storage — callers that solve one
+// network per iteration (the OPT-EXEC-PLAN planner) avoid re-allocating
+// the whole residual graph every time.
 type Graph struct {
 	n     int
 	edges []edge // paired: i and i^1 are mutual reverses
 	adj   [][]int
+
+	// BFS scratch reused across MaxFlow calls: parent edge ids and the
+	// traversal queue. Sized lazily to n.
+	parent []int
+	queue  []int
 }
 
 // New returns an empty flow network with n nodes.
@@ -38,6 +46,25 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("maxflow: negative node count %d", n))
 	}
 	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// Reset reinitializes the graph in place to n nodes and no edges, keeping
+// previously allocated edge, adjacency, and BFS storage for reuse. After
+// Reset the graph is equivalent to New(n) except for capacity retained in
+// its internal slices.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("maxflow: negative node count %d", n))
+	}
+	g.n = n
+	g.edges = g.edges[:0]
+	if cap(g.adj) < n {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int, n-cap(g.adj))...)
+	}
+	g.adj = g.adj[:n]
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
 }
 
 // NumNodes reports the number of nodes in the network.
@@ -75,17 +102,21 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 		return 0
 	}
 	var total float64
-	parent := make([]int, g.n) // edge id used to reach node, -1 if unreached
+	if cap(g.parent) < g.n {
+		g.parent = make([]int, g.n)
+	}
+	parent := g.parent[:g.n] // edge id used to reach node, -1 if unreached
 	for {
 		for i := range parent {
 			parent[i] = -1
 		}
-		// BFS for the shortest augmenting path.
-		queue := []int{s}
+		// BFS for the shortest augmenting path. The queue is consumed via a
+		// head index (not re-slicing) so the scratch buffer's full capacity
+		// survives for the next call.
+		queue := append(g.queue[:0], s)
 		parent[s] = -2
-		for len(queue) > 0 && parent[t] == -1 {
-			u := queue[0]
-			queue = queue[1:]
+		for head := 0; head < len(queue) && parent[t] == -1; head++ {
+			u := queue[head]
 			for _, id := range g.adj[u] {
 				e := g.edges[id]
 				if e.cap > 0 && parent[e.to] == -1 {
@@ -94,6 +125,7 @@ func (g *Graph) MaxFlow(s, t int) float64 {
 				}
 			}
 		}
+		g.queue = queue[:0]
 		if parent[t] == -1 {
 			return total
 		}

@@ -247,3 +247,47 @@ func TestRepeatedMaxFlowIsIdempotent(t *testing.T) {
 		t.Fatalf("second MaxFlow = %v, want 0 (saturated residual)", got)
 	}
 }
+
+// TestResetReusesStorageAndSolvesFresh: a Reset graph must behave exactly
+// like a brand-new one — no residual capacities, flows, or adjacency from
+// the previous solve may leak into the next.
+func TestResetReusesStorageAndSolvesFresh(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 5 {
+		t.Fatalf("first solve = %v, want 5", got)
+	}
+
+	// Reset to a larger network with a different shape.
+	g.Reset(6)
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", g.NumNodes())
+	}
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(1, 5, 2)
+	g.AddEdge(2, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 6 {
+		t.Fatalf("post-reset solve = %v, want 6", got)
+	}
+
+	// Reset to a smaller network: stale adjacency must be gone.
+	g.Reset(2)
+	g.AddEdge(0, 1, 7)
+	if got := g.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("shrunk solve = %v, want 7", got)
+	}
+
+	// Same instance solved repeatedly via Reset must be deterministic.
+	for i := 0; i < 3; i++ {
+		g.Reset(4)
+		g.AddEdge(0, 1, 5)
+		g.AddEdge(0, 2, 3)
+		g.AddEdge(1, 3, 4)
+		g.AddEdge(2, 3, 3)
+		if got := g.MaxFlow(0, 3); got != 7 {
+			t.Fatalf("repeat %d = %v, want 7", i, got)
+		}
+	}
+}

@@ -3,9 +3,22 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"helix/internal/core"
+
+	"helix/internal/maxflow"
 )
+
+// solveCount tallies OPT-EXEC-PLAN max-flow solves process-wide. The plan
+// cache's acceptance contract — a fingerprint hit performs zero solves —
+// is asserted against deltas of this counter.
+var solveCount atomic.Int64
+
+// SolveCount reports the cumulative number of OPT-EXEC-PLAN solves
+// (Solver.OptimalStates invocations, each one max-flow computation)
+// performed by the process so far.
+func SolveCount() int64 { return solveCount.Load() }
 
 // Costs holds the per-node inputs to OPT-EXEC-PLAN (paper §5.1).
 // Times are in seconds (float64 for solver arithmetic).
@@ -31,10 +44,28 @@ type Plan struct {
 	Time float64
 }
 
+// Solver solves OPT-EXEC-PLAN instances. The zero value is ready to use;
+// a Solver retained across iterations (the planner pools one) reuses its
+// flow network, profit/prerequisite buffers, and index maps between
+// solves, cutting the steady-state allocation bill of iterative planning.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	g        *maxflow.Graph
+	idx      map[*core.Node]int
+	live     []*core.Node
+	sc       []solverCost
+	profits  []float64
+	prereqs  []Prereq
+	selected []bool
+}
+
+type solverCost struct{ load, compute float64 }
+
 // OptimalStates solves OPT-EXEC-PLAN (Problem 1) optimally via Algorithm 1:
 // the linear-time reduction to the project selection problem, solved by
 // min-cut. Nodes absent from costs are pruned outright (they are outside
-// the program slice).
+// the program slice). Equivalent to the package-level OptimalStates but
+// reuses the solver's scratch storage.
 //
 // The reduction builds, per node n_i, project a_i with profit -l_i and
 // project b_i with profit l_i - c_i, with a_i prerequisite to b_i, and
@@ -45,17 +76,24 @@ type Plan struct {
 // tiered finite magnitudes (bigM, epsilon) so that the flow network stays
 // finite; the tiers are separated by more than the total true cost so they
 // can never be traded against real savings.
-func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+func (s *Solver) OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+	solveCount.Add(1)
 	nodes := d.TopoSort()
 	// Index the participating (live) nodes.
-	idx := make(map[*core.Node]int)
-	var live []*core.Node
+	if s.idx == nil {
+		s.idx = make(map[*core.Node]int, len(nodes))
+	} else {
+		clear(s.idx)
+	}
+	idx := s.idx
+	live := s.live[:0]
 	for _, n := range nodes {
 		if _, ok := costs[n]; ok {
 			idx[n] = len(live)
 			live = append(live, n)
 		}
 	}
+	s.live = live
 
 	// Tiered magnitudes: sumTrue < bigM < reward, with epsilon far below
 	// any real cost distinction.
@@ -75,8 +113,10 @@ func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
 
 	// Solver-facing costs: infinite loads become bigM (never attractive,
 	// but finite for the flow network).
-	type solverCost struct{ load, compute float64 }
-	sc := make([]solverCost, len(live))
+	if cap(s.sc) < len(live) {
+		s.sc = make([]solverCost, len(live))
+	}
+	sc := s.sc[:len(live)]
 	for i, n := range live {
 		c := costs[n]
 		load := c.Load
@@ -89,8 +129,11 @@ func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
 	// Projects: a_i at 2i, b_i at 2i+1. Constraint 1 (MustCompute) is
 	// encoded as a dominating reward on b_i (selecting b_i ⇔ Compute);
 	// Required as a dominating reward on a_i (selecting a_i ⇔ not pruned).
-	profits := make([]float64, 2*len(live))
-	var prereqs []Prereq
+	if cap(s.profits) < 2*len(live) {
+		s.profits = make([]float64, 2*len(live))
+	}
+	profits := s.profits[:2*len(live)]
+	prereqs := s.prereqs[:0]
 	for i, n := range live {
 		profits[2*i] = -sc[i].load
 		profits[2*i+1] = sc[i].load - sc[i].compute
@@ -110,8 +153,18 @@ func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
 			prereqs = append(prereqs, Prereq{Project: 2*j + 1, Requires: 2 * i})
 		}
 	}
+	s.prereqs = prereqs
 
-	selected := SolvePSP(profits, prereqs)
+	if s.g == nil {
+		s.g = maxflow.New(len(profits) + 2)
+	} else {
+		s.g.Reset(len(profits) + 2)
+	}
+	if cap(s.selected) < len(profits) {
+		s.selected = make([]bool, len(profits))
+	}
+	selected := s.selected[:len(profits)]
+	solvePSPInto(s.g, profits, prereqs, selected)
 
 	plan := Plan{States: make(map[*core.Node]core.State, d.Len())}
 	for _, n := range nodes {
@@ -131,6 +184,14 @@ func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
 	}
 	plan.Time = PlanTime(plan.States, costs)
 	return plan
+}
+
+// OptimalStates solves OPT-EXEC-PLAN with a throwaway Solver. Callers that
+// plan every iteration should retain a Solver and call its method instead,
+// reusing the flow network and buffers across solves.
+func OptimalStates(d *core.DAG, costs map[*core.Node]Costs) Plan {
+	var s Solver
+	return s.OptimalStates(d, costs)
 }
 
 // PlanTime evaluates Equation 1: the total run time of a state assignment

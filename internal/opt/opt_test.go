@@ -473,3 +473,46 @@ func TestMiniBatchOMPConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestSolverReuseMatchesFreshSolves: one Solver reused across many
+// differently-shaped random instances must produce exactly the plan a
+// throwaway solver produces — scratch reuse may never leak state between
+// solves.
+func TestSolverReuseMatchesFreshSolves(t *testing.T) {
+	var pooled Solver
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		n := 2 + rng.Intn(40)
+		d, costs := randomOEPInstance(rng, n)
+		got := pooled.OptimalStates(d, costs)
+		want := OptimalStates(d, costs)
+		if math.Abs(got.Time-want.Time) > 1e-9 {
+			t.Fatalf("instance %d: pooled time %v, fresh %v", i, got.Time, want.Time)
+		}
+		if err := CheckFeasible(d, costs, got.States); err != nil {
+			t.Fatalf("instance %d: pooled plan infeasible: %v", i, err)
+		}
+		for _, nd := range d.Nodes() {
+			if got.States[nd] != want.States[nd] {
+				t.Fatalf("instance %d node %s: pooled %v, fresh %v", i, nd.Name, got.States[nd], want.States[nd])
+			}
+		}
+	}
+}
+
+// TestSolveCountInstrumentation: every OptimalStates call ticks the
+// process-wide counter exactly once.
+func TestSolveCountInstrumentation(t *testing.T) {
+	d := buildDAG(t, 2, [][2]int{{0, 1}})
+	costs := map[*core.Node]Costs{
+		d.Nodes()[0]: {Compute: 1, Load: math.Inf(1)},
+		d.Nodes()[1]: {Compute: 1, Load: math.Inf(1), Required: true},
+	}
+	before := SolveCount()
+	OptimalStates(d, costs)
+	var s Solver
+	s.OptimalStates(d, costs)
+	if got := SolveCount() - before; got != 2 {
+		t.Fatalf("SolveCount delta = %d, want 2", got)
+	}
+}

@@ -33,8 +33,16 @@ type Prereq struct {
 // pairs get infinite-capacity edges project→prerequisite. The source side
 // of a minimum cut is an optimal selection.
 func SolvePSP(profits []float64, prereqs []Prereq) []bool {
+	selected := make([]bool, len(profits))
+	solvePSPInto(maxflow.New(len(profits)+2), profits, prereqs, selected)
+	return selected
+}
+
+// solvePSPInto is SolvePSP over a caller-provided graph (already sized to
+// len(profits)+2 nodes, typically via Reset) and result buffer, so
+// iterative callers can amortize the flow network across solves.
+func solvePSPInto(g *maxflow.Graph, profits []float64, prereqs []Prereq, selected []bool) {
 	n := len(profits)
-	g := maxflow.New(n + 2)
 	s, t := n, n+1
 	for i, p := range profits {
 		switch {
@@ -49,9 +57,7 @@ func SolvePSP(profits []float64, prereqs []Prereq) []bool {
 	}
 	g.MaxFlow(s, t)
 	cut := g.MinCut(s)
-	selected := make([]bool, n)
 	copy(selected, cut[:n])
-	return selected
 }
 
 // PSPValue returns the total profit of a selection, or false if the

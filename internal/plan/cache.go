@@ -1,0 +1,303 @@
+package plan
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"helix/internal/core"
+)
+
+// CacheOutcome reports how the planner obtained a Plan.
+type CacheOutcome int
+
+const (
+	// CacheCold means the plan was solved from scratch: no cache was
+	// attached, the cache was empty, or the fingerprint mismatched beyond
+	// what partial reuse covers (topology or configuration changed).
+	CacheCold CacheOutcome = iota
+	// CachePartial means the DAG topology matched the cached plan and only
+	// the weakly-connected live components containing a changed node were
+	// re-solved; every other row — and the ancestor bitset table — was
+	// reused.
+	CachePartial
+	// CacheHit means the full fingerprint matched and the previous plan
+	// was reused wholesale: no slicing decision changed, no bitsets were
+	// rebuilt, and no max-flow solve ran.
+	CacheHit
+)
+
+// String returns a short label for benchmark tables and Explain output.
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CachePartial:
+		return "partial"
+	default:
+		return "cold"
+	}
+}
+
+// CacheStats counts cache consultations by outcome.
+type CacheStats struct {
+	// Hits counts full-fingerprint reuses: zero max-flow solves.
+	Hits int64
+	// Partials counts topology matches that re-solved only the dirty
+	// components (one restricted solve, or none when no live node was
+	// dirty).
+	Partials int64
+	// Misses counts plans solved entirely from scratch.
+	Misses int64
+}
+
+// Cache holds recent iterations' fingerprinted plans for incremental
+// planning. A Cache belongs to one logical session: its ConfigToken pins
+// the execution configuration (policy, budget, parallelism, …) the cached
+// plans were built under, so a session opened with different options can
+// never reuse another configuration's decisions. The zero value is usable;
+// NewCache sets the token. All methods are safe for concurrent use,
+// though the planner pipeline around them is not.
+//
+// The cache retains a small MRU list rather than a single entry so that
+// interleaved planning of other workflows — Session.Plan is documented as
+// pure inspection — cannot evict the steady-state entry the next Run's
+// full hit depends on.
+type Cache struct {
+	// ConfigToken is an opaque description of every engine-level setting
+	// outside the planner's own Options that the owner wants plan reuse
+	// conditioned on. It is hashed into the fingerprint: a changed token
+	// is a changed fingerprint, forcing a fresh solve.
+	ConfigToken string
+
+	mu      sync.Mutex
+	entries []*cacheEntry // most recently stored/hit first
+	stats   CacheStats
+}
+
+// cacheCapacity bounds the MRU list. Four entries cover a main workflow
+// plus a few inspected variants between runs; each entry retains one plan
+// and one DAG generation, so the bound also caps memory.
+const cacheCapacity = 4
+
+// cacheEntry is the retained previous plan plus the raw fingerprint
+// inputs needed to localize a mismatch.
+type cacheEntry struct {
+	fp      Fingerprint
+	keys    []nodeKey
+	parents []int32
+	opts    Options
+	plan    *Plan
+}
+
+// NewCache returns an empty plan cache whose fingerprints are bound to
+// the given configuration token.
+func NewCache(configToken string) *Cache {
+	return &Cache{ConfigToken: configToken}
+}
+
+// Stats returns a snapshot of the cache's hit/partial/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// hit returns the cached plan rebound onto the current DAG when the full
+// fingerprint matches, or nil. A hit performs no solve and no bitset
+// construction: rows are copied with their Node pointers remapped
+// positionally (the fingerprint covers names and topology, so position i
+// is the same operator), and the ancestor table is shared.
+func (c *Cache) hit(fp Fingerprint, in *planInputs) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var e *cacheEntry
+	for i, ent := range c.entries {
+		if ent.fp == fp {
+			e = ent
+			// Move to front: this is the live workflow's entry.
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			break
+		}
+	}
+	if e == nil {
+		return nil
+	}
+	cached := e.plan
+	p := &Plan{
+		Iteration:        in.iteration,
+		Nodes:            make([]*NodePlan, len(in.order)),
+		ProjectedSeconds: cached.ProjectedSeconds,
+		Counts:           make(map[core.State]int, len(cached.Counts)),
+		// The purge decision is derived from the chain-signature set and
+		// the originals — both fingerprint-covered — so the cached spec is
+		// identical and the hit path skips rebuilding its maps.
+		Purge:       cached.Purge,
+		Cache:       CacheHit,
+		Fingerprint: fp,
+		anc:         cached.anc,
+		ancWords:    cached.ancWords,
+	}
+	for s, n := range cached.Counts {
+		p.Counts[s] = n
+	}
+	rows := make([]NodePlan, len(in.order))
+	for i, n := range in.order {
+		rows[i] = *cached.Nodes[i]
+		rows[i].Node = n
+		rows[i].Reused = true
+		p.Nodes[i] = &rows[i]
+	}
+	// Retain the rebound plan so at most one DAG generation per entry
+	// stays reachable through the cache.
+	e.plan = p
+	c.stats.Hits++
+	return p
+}
+
+// partial checks whether the cached plan's topology and configuration
+// match the current inputs and, if so, returns the reusable rows: row i
+// is non-nil iff node i's fingerprint key is unchanged AND no node in its
+// weakly-connected live component changed. The caller re-solves exactly
+// the remaining live nodes. The second and third results are the cached
+// ancestor bitset table, shared whenever the topology matched (even if no
+// rows were reusable). Returns (nil, nil, 0) when nothing can be reused.
+//
+// Correctness: the project-selection objective OPT-EXEC-PLAN reduces to
+// is separable across weakly-connected components of the live slice —
+// prerequisite edges exist only along DAG edges between live nodes, and
+// every ancestor of a live node is itself live. A component with no
+// changed node therefore has byte-identical solver inputs and no
+// constraint linking it to the re-solved remainder: its cached states
+// remain exactly optimal. Any change to the live set itself marks every
+// live node dirty (a conservative full re-solve on the reused bitsets),
+// because component boundaries may have moved.
+func (c *Cache) partial(in *planInputs, opts Options, keys []nodeKey, parents []int32) ([]*NodePlan, []uint64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Most recently used topology/configuration match wins: for the
+	// iterative-editing steady state that is the previous iteration of
+	// the same workflow.
+	var e *cacheEntry
+	for _, ent := range c.entries {
+		if ent.opts == opts && len(ent.keys) == len(keys) && slices.Equal(ent.parents, parents) {
+			e = ent
+			break
+		}
+	}
+	if e == nil {
+		return nil, nil, 0
+	}
+
+	n := len(keys)
+	dirty := make([]bool, n)
+	liveChanged := false
+	any := false
+	for i := range keys {
+		if keys[i] != e.keys[i] {
+			dirty[i] = true
+			any = true
+			if keys[i].live != e.keys[i].live {
+				liveChanged = true
+			}
+		}
+	}
+	if !any {
+		// Equal keys with an unequal full fingerprint should be
+		// impossible (the fingerprint is derived from the keys, options,
+		// and the cache's own constant token); treat it as a miss rather
+		// than reuse anything on inconsistent evidence.
+		return nil, nil, 0
+	}
+	if liveChanged {
+		for i := range keys {
+			dirty[i] = dirty[i] || keys[i].live
+		}
+	}
+
+	// Union-find over the live slice: live nodes joined by DAG edges
+	// share a component; a component containing any dirty live node is
+	// re-solved in full.
+	uf := newUnionFind(n)
+	for i, nd := range in.order {
+		if !keys[i].live {
+			continue
+		}
+		for _, par := range nd.Parents() {
+			j := in.idx(par)
+			if keys[j].live {
+				uf.union(i, j)
+			}
+		}
+	}
+	dirtyComp := make(map[int]bool)
+	for i := range keys {
+		if dirty[i] && keys[i].live {
+			dirtyComp[uf.find(i)] = true
+		}
+	}
+
+	reused := make([]*NodePlan, n)
+	for i := range keys {
+		if dirty[i] {
+			continue
+		}
+		if keys[i].live && dirtyComp[uf.find(i)] {
+			continue
+		}
+		reused[i] = e.plan.Nodes[i]
+	}
+	return reused, e.plan.anc, e.plan.ancWords
+}
+
+// store records the freshly assembled plan as the most recent cache
+// entry, ages out the oldest beyond capacity, and tallies the outcome
+// that produced it.
+func (c *Cache) store(fp Fingerprint, keys []nodeKey, parents []int32, opts Options, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &cacheEntry{fp: fp, keys: keys, parents: parents, opts: opts, plan: p}
+	c.entries = append(c.entries, nil)
+	copy(c.entries[1:], c.entries)
+	c.entries[0] = e
+	if len(c.entries) > cacheCapacity {
+		c.entries = c.entries[:cacheCapacity]
+	}
+	if p.Cache == CachePartial {
+		c.stats.Partials++
+	} else {
+		c.stats.Misses++
+	}
+}
+
+// unionFind is a plain path-halving union-find over dense indices.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(i int) int {
+	for uf.parent[i] != i {
+		uf.parent[i] = uf.parent[uf.parent[i]]
+		i = uf.parent[i]
+	}
+	return i
+}
+
+func (uf *unionFind) union(i, j int) {
+	ri, rj := uf.find(i), uf.find(j)
+	if ri != rj {
+		uf.parent[ri] = rj
+	}
+}
+
+// String summarizes the stats for logs.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d partials=%d misses=%d", s.Hits, s.Partials, s.Misses)
+}

@@ -10,15 +10,23 @@ import (
 )
 
 // Summary returns a one-line digest of the plan: node counts per state,
-// slice size, and the projected run time of Equation 1.
+// slice size, the projected run time of Equation 1, and — when the plan
+// cache contributed — how much of the plan was reused instead of solved.
 func (p *Plan) Summary() string {
 	total := len(p.Nodes)
 	liveCount := p.Counts[core.StateCompute] + p.Counts[core.StateLoad] + p.Counts[core.StatePrune]
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"execution plan — iteration %d: %d nodes, %d live (%d Sc, %d Sl, %d Sp), %d sliced away; projected T(W,s) = %.3fs",
 		p.Iteration, total, liveCount,
 		p.Counts[core.StateCompute], p.Counts[core.StateLoad], p.Counts[core.StatePrune],
 		total-liveCount, p.ProjectedSeconds)
+	switch p.Cache {
+	case CacheHit:
+		s += fmt.Sprintf("; plan cache hit [%s]: all %d decisions reused, no solve", p.Fingerprint, total)
+	case CachePartial:
+		s += fmt.Sprintf("; plan cache partial [%s]: %d/%d decisions reused, dirty slice re-solved", p.Fingerprint, p.Reuses(), total)
+	}
+	return s
 }
 
 // Explain renders the plan as a per-node decision table in topological
@@ -41,10 +49,17 @@ func (p *Plan) Explain() string {
 		if np.MandatoryMat {
 			mat = "out"
 		}
+		why := np.Rationale
+		// Mark decisions the plan cache carried over from the previous
+		// iteration's solve, so -explain distinguishes a reused row from
+		// a freshly derived one.
+		if np.Reused {
+			why += " [reused]"
+		}
 		fmt.Fprintf(&b, "%-22s %-4s %-5s %-4s %-4s %s %s %s  %s\n",
 			np.Node.Name, np.Node.Component, np.State, orig, mat,
 			fmtSecs(np.Costs.Compute), fmtSecs(np.Costs.Load), fmtSecs(np.ProjectedCum),
-			np.Rationale)
+			why)
 	}
 	return b.String()
 }

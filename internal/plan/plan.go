@@ -13,12 +13,30 @@
 // helixrun -explain prints. Classic plan → explain → execute layering:
 // the optimizer's choices become visible and testable in isolation
 // instead of living inline in the engine.
+//
+// # Incremental planning
+//
+// Planning itself is amortized across iterations. Every Plan call derives
+// a Fingerprint — a stable hash over the DAG's topology, per-node chain
+// signatures, the store's materialized-set view, carried cost statistics,
+// and the planning options. A Planner given a Cache compares the
+// fingerprint against the previous iteration's: on a full match the prior
+// Plan is reused wholesale (no slicing, no ancestor-bitset construction,
+// no max-flow solve — the dominant O(V²)+solve cost on large DAGs); on a
+// topology match with localized changes, the ancestor bitsets and the
+// unchanged rows are reused and only the weakly-connected live components
+// containing a changed node are re-solved. Reuse is sound because the
+// fingerprint covers every input the solve depends on, and the
+// project-selection objective is separable across weakly-connected
+// components of the live slice — an untouched component's cached states
+// remain exactly optimal.
 package plan
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"time"
 
 	"helix/internal/core"
@@ -82,6 +100,18 @@ type NodePlan struct {
 	// Definition 6: ProjectedOwn plus the sum over all ancestors'
 	// ProjectedOwn. Zero at iteration 0, when no statistics exist yet.
 	ProjectedCum float64
+	// ProjectedTail is the projected length of the longest chain of
+	// compute-state descendants that transitively wait on this node,
+	// including the node's own projected time — the node's downstream
+	// critical path. The scheduler's critical-path ordering pops the
+	// ready node with the largest tail first, so stragglers start early.
+	// Zero when no statistics exist yet (the scheduler then degrades to
+	// FIFO order).
+	ProjectedTail float64
+	// Reused reports that this row was taken verbatim from the cached
+	// previous iteration's plan (full fingerprint hit, or a clean
+	// component of a partial hit) rather than re-derived by the solver.
+	Reused bool
 	// Rationale states, in one phrase, why the solver assigned State.
 	Rationale string
 }
@@ -116,23 +146,54 @@ type Plan struct {
 	// Purge is the materialization-purge decision; nil when reuse is
 	// disabled.
 	Purge *PurgeSpec
+	// Cache reports how the planner obtained this plan: a fresh solve, a
+	// partial re-solve of dirty components, or a wholesale reuse of the
+	// previous iteration's plan.
+	Cache CacheOutcome
+	// Fingerprint is the stable hash of every planning input this plan
+	// was derived from; two Plan calls with equal fingerprints are
+	// guaranteed to produce equivalent plans.
+	Fingerprint Fingerprint
 
-	byNode map[*core.Node]*NodePlan
-	byName map[string]*NodePlan
+	// byNode/byName are built lazily on first lookup: most plans are
+	// executed, not queried, and two map constructions per iteration were
+	// measurable on 1000-node workflows.
+	mapsOnce sync.Once
+	byNode   map[*core.Node]*NodePlan
+	byName   map[string]*NodePlan
 	// anc holds every node's ancestor set as a bitset over Plan.Nodes
 	// indices, ancWords words per node — V²/64 words total, computed once
 	// here so the executor's retirement path can price C(n) from measured
 	// times with a bit scan instead of an O(ancestors) graph traversal
-	// (map allocation and pointer chasing) per retirement.
+	// (map allocation and pointer chasing) per retirement. The table
+	// depends only on topology, so cache hits and partial hits share the
+	// previous plan's table instead of rebuilding it.
 	anc      []uint64
 	ancWords int
 }
 
+func (p *Plan) initMaps() {
+	p.mapsOnce.Do(func() {
+		p.byNode = make(map[*core.Node]*NodePlan, len(p.Nodes))
+		p.byName = make(map[string]*NodePlan, len(p.Nodes))
+		for _, np := range p.Nodes {
+			p.byNode[np.Node] = np
+			p.byName[np.Node.Name] = np
+		}
+	})
+}
+
 // For returns the plan entry for a node of the planned DAG, or nil.
-func (p *Plan) For(n *core.Node) *NodePlan { return p.byNode[n] }
+func (p *Plan) For(n *core.Node) *NodePlan {
+	p.initMaps()
+	return p.byNode[n]
+}
 
 // ByName returns the plan entry for the named node, or nil.
-func (p *Plan) ByName(name string) *NodePlan { return p.byName[name] }
+func (p *Plan) ByName(name string) *NodePlan {
+	p.initMaps()
+	return p.byName[name]
+}
 
 // ForEachAncestor calls fn with the Plan.Nodes index of every ancestor
 // (pruned included) of the node at index i, in ascending index order.
@@ -147,19 +208,65 @@ func (p *Plan) ForEachAncestor(i int, fn func(j int)) {
 	}
 }
 
-// Planner builds Plans. The zero value plans without reuse.
+// Reuses reports how many of the plan's rows were reused from the cached
+// previous plan rather than re-derived.
+func (p *Plan) Reuses() int {
+	reused := 0
+	for _, np := range p.Nodes {
+		if np.Reused {
+			reused++
+		}
+	}
+	return reused
+}
+
+// Planner builds Plans. The zero value plans without reuse, without a
+// plan cache, and with a throwaway solver. A Planner (or at least its
+// Cache and Solver, which hold the cross-iteration state) is not safe for
+// concurrent use.
 type Planner struct {
 	// View is the materialization-store view; nil plans as if empty.
 	View MatView
 	// Opts configures planning.
 	Opts Options
+	// Cache, when non-nil, enables incremental planning: Plan consults it
+	// for the previous iteration's fingerprinted plan and reuses whatever
+	// the fingerprint proves unchanged.
+	Cache *Cache
+	// Solver, when non-nil, is the pooled OPT-EXEC-PLAN solver whose flow
+	// network and buffers are reused across iterations. Nil uses a
+	// throwaway solver per call.
+	Solver *opt.Solver
 }
+
+// planInputs carries the derived planning inputs between pipeline stages.
+// The per-node attributes are slices indexed by topological position —
+// the hit path runs every iteration, and four map constructions per call
+// were a measurable tax on 1000-node workflows.
+type planInputs struct {
+	d         *core.DAG
+	iteration int
+	order     []*core.Node
+	// pos maps a node's (dense) ID to its index in order.
+	pos       []int32
+	originals []bool
+	live      []bool
+	outputs   []bool
+	costs     []opt.Costs // zero value for non-live nodes
+	// purge is filled in by the caller only on the paths that need a
+	// fresh spec; a full cache hit reuses the cached plan's.
+	purge *PurgeSpec
+}
+
+// idx returns n's index in the topological order.
+func (in *planInputs) idx(n *core.Node) int { return int(in.pos[n.ID]) }
 
 // Plan runs the full planning pipeline against d for the given iteration:
 // change tracking versus prev (nil at iteration 0), program slicing, the
-// purge decision, cost assembly, and the OPT-EXEC-PLAN solve. It mutates
-// only d (signatures and carried metrics); prev and the store view are
-// read-only.
+// purge decision, cost assembly, and the OPT-EXEC-PLAN solve — or, with a
+// Cache attached, as little of that as the input fingerprint proves
+// necessary. It mutates only d (signatures and carried metrics); prev and
+// the store view are read-only.
 func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("plan: invalid workflow: %w", err)
@@ -168,144 +275,306 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 	// 1. Change tracking (§4.2).
 	d.ComputeSignatures()
 	d.CarryMetrics(prev)
-	originals := d.OriginalNodes(prev)
 
-	// 2. Program slicing (§5.4).
-	live := d.Slice()
-	if pl.Opts.DisablePruning {
-		for _, n := range d.Nodes() {
-			live[n] = true
+	// 2-3. Originality, slicing, and cost assembly — the cheap O(V+E)
+	// stages every call pays, because they are what the fingerprint is
+	// computed from.
+	in := pl.gather(d, prev, iteration)
+
+	// 5. Fingerprint the planning inputs and consult the cache: a full
+	// match reuses the previous plan wholesale (no solve at all); a
+	// topology match re-solves only the weakly-connected live components
+	// containing a change, reusing the ancestor bitsets and every clean
+	// row.
+	var (
+		fp      Fingerprint
+		keys    []nodeKey
+		parents []int32
+		reused  []*NodePlan
+		anc     []uint64
+		words   int
+		outcome = CacheCold
+	)
+	if pl.Cache != nil {
+		keys, parents, fp = fingerprintInputs(in, pl.Opts, pl.Cache.ConfigToken)
+		if p := pl.Cache.hit(fp, in); p != nil {
+			return p, nil
+		}
+		reused, anc, words = pl.Cache.partial(in, pl.Opts, keys, parents)
+		if reused != nil {
+			outcome = CachePartial
+		}
+	}
+	pl.buildPurge(in)
+	if anc == nil {
+		anc, words = buildAncestors(in.order, in.pos)
+	}
+
+	// 6. OPT-EXEC-PLAN (Problem 1) via the MAX-FLOW reduction, restricted
+	// to the dirty slice on a partial hit. A partial hit whose dirty set
+	// contains no live node (e.g. only a sliced-away branch changed)
+	// needs no solve at all: every non-reused row is non-live and prunes.
+	var dirty []bool
+	if outcome == CachePartial {
+		dirty = make([]bool, len(in.order))
+		for i := range reused {
+			dirty[i] = reused[i] == nil
+		}
+	}
+	solveCosts := in.solveCosts(dirty)
+	var states map[*core.Node]core.State
+	if outcome != CachePartial || len(solveCosts) > 0 {
+		solver := pl.Solver
+		if solver == nil {
+			solver = new(opt.Solver)
+		}
+		states = solver.OptimalStates(d, solveCosts).States
+	}
+
+	// 7. Assemble the artifact: states, rationale, ancestor sets, and
+	// cumulative times, all in topological order.
+	p := pl.assemble(in, states, anc, words, reused, outcome, fp)
+	if pl.Cache != nil {
+		pl.Cache.store(fp, keys, parents, pl.Opts, p)
+	}
+	return p, nil
+}
+
+// gather runs the cheap O(V+E) pipeline stages that every Plan call pays,
+// cached or not: originality, program slicing, and cost assembly
+// (including the store-view lookups the fingerprint must observe — a
+// cached plan may never survive a store eviction unseen). The purge
+// decision is NOT built here: see buildPurge, which runs only on misses
+// and partial hits — a full hit reuses the cached spec.
+func (pl *Planner) gather(d *core.DAG, prev *core.DAG, iteration int) *planInputs {
+	in := &planInputs{d: d, iteration: iteration}
+	in.order = d.TopoSort()
+	n := len(in.order)
+	in.pos = make([]int32, n)
+	for i, nd := range in.order {
+		in.pos[nd.ID] = int32(i)
+	}
+
+	// Originality (Definition 2): no equivalent node in prev.
+	in.originals = make([]bool, n)
+	if prev == nil {
+		for i := range in.originals {
+			in.originals[i] = true
+		}
+	} else {
+		prevSigs := prev.SigIndex()
+		for i, nd := range in.order {
+			if _, ok := prevSigs[nd.ChainSignature()]; !ok {
+				in.originals[i] = true
+			}
+		}
+	}
+
+	// Outputs and program slicing (§5.4): the backward slice is computed
+	// in reverse topological order — a node is live iff it is an output
+	// or feeds a live consumer. No declared outputs means nothing can be
+	// pruned safely, matching DAG.Slice.
+	in.outputs = make([]bool, n)
+	for _, o := range d.Outputs() {
+		in.outputs[in.idx(o)] = true
+	}
+	in.live = make([]bool, n)
+	if len(d.Outputs()) == 0 || pl.Opts.DisablePruning {
+		for i := range in.live {
+			in.live[i] = true
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			if in.outputs[i] {
+				in.live[i] = true
+				continue
+			}
+			for _, c := range in.order[i].Children() {
+				if in.live[in.idx(c)] {
+					in.live[i] = true
+					break
+				}
+			}
 		}
 	}
 
 	reuse := !pl.Opts.DisableReuse && pl.View != nil
 
-	// 3. Purge decision: an original node's old results can never be
-	// reused (§6.6). Recorded here, applied by the executor. Suppressed
-	// when reuse is off: the no-reuse systems (KeystoneML, DeepDive)
-	// never touch prior results, stale or not.
-	var purge *PurgeSpec
-	if !pl.Opts.DisableReuse {
-		purge = &PurgeSpec{
-			CurrentSigs:     make(map[string]bool, d.Len()),
-			DeprecatedNames: make(map[string]bool),
-		}
-		for _, n := range d.Nodes() {
-			purge.CurrentSigs[n.ChainSignature()] = true
-		}
-		for n := range originals {
-			purge.DeprecatedNames[n.Name] = true
-		}
-	}
-
-	// 4. Cost model (§5.1) over the live slice.
-	costs := make(map[*core.Node]opt.Costs, d.Len())
-	for _, n := range d.Nodes() {
-		if !live[n] {
+	// Cost model (§5.1) over the live slice.
+	in.costs = make([]opt.Costs, n)
+	for i, nd := range in.order {
+		if !in.live[i] {
 			continue
 		}
 		c := opt.Costs{
-			Compute:     n.Metrics.Compute.Seconds(),
+			Compute:     nd.Metrics.Compute.Seconds(),
 			Load:        math.Inf(1),
-			MustCompute: originals[n],
+			MustCompute: in.originals[i],
+			Required:    in.outputs[i],
 		}
 		// Nondeterministic nodes never have an equivalent materialization
 		// (Definition 3): a stored result is one random draw and must not
 		// stand in for a fresh computation.
-		if reuse && n.Deterministic {
-			if size, ok := pl.View.Lookup(n.ChainSignature()); ok {
+		if reuse && nd.Deterministic {
+			if size, ok := pl.View.Lookup(nd.ChainSignature()); ok {
 				c.Load = pl.View.EstimateLoad(size).Seconds()
 			}
 		}
-		costs[n] = c
+		in.costs[i] = c
 	}
-	for _, o := range d.Outputs() {
-		if c, ok := costs[o]; ok {
-			c.Required = true
-			costs[o] = c
+	return in
+}
+
+// solveCosts materializes the solver-facing cost map for the live nodes
+// the caller wants solved: all of them on a cold solve, only the dirty
+// ones on a partial hit (dirty == nil means all). The map is built here,
+// off the hit path — a fingerprint hit never needs it.
+func (in *planInputs) solveCosts(dirty []bool) map[*core.Node]opt.Costs {
+	m := make(map[*core.Node]opt.Costs, len(in.order))
+	for i, nd := range in.order {
+		if !in.live[i] {
+			continue
+		}
+		if dirty != nil && !dirty[i] {
+			continue
+		}
+		m[nd] = in.costs[i]
+	}
+	return m
+}
+
+// buildPurge records the planner's purge decision: an original node's old
+// results can never be reused (§6.6). Applied by the executor; suppressed
+// when reuse is off (the no-reuse systems — KeystoneML, DeepDive — never
+// touch prior results, stale or not). Built only on cache misses and
+// partial hits; a full hit reuses the cached plan's spec, which the
+// fingerprint proves identical.
+func (pl *Planner) buildPurge(in *planInputs) {
+	if pl.Opts.DisableReuse {
+		return
+	}
+	in.purge = &PurgeSpec{
+		CurrentSigs:     make(map[string]bool, len(in.order)),
+		DeprecatedNames: make(map[string]bool),
+	}
+	for i, n := range in.order {
+		in.purge.CurrentSigs[n.ChainSignature()] = true
+		if in.originals[i] {
+			in.purge.DeprecatedNames[n.Name] = true
 		}
 	}
+}
 
-	// 5. OPT-EXEC-PLAN (Problem 1) via the MAX-FLOW reduction.
-	sol := opt.OptimalStates(d, costs)
-
-	// 6. Assemble the artifact: states, rationale, ancestor sets, and
-	// cumulative times, all in topological order.
-	order := d.TopoSort()
-	p := &Plan{
-		Iteration:        iteration,
-		Nodes:            make([]*NodePlan, len(order)),
-		ProjectedSeconds: sol.Time,
-		Counts:           make(map[core.State]int, 3),
-		Purge:            purge,
-		byNode:           make(map[*core.Node]*NodePlan, len(order)),
-		byName:           make(map[string]*NodePlan, len(order)),
-	}
-	outputs := make(map[*core.Node]bool, len(d.Outputs()))
-	for _, o := range d.Outputs() {
-		outputs[o] = true
-	}
-	idx := make(map[*core.Node]int, len(order))
-	for i, n := range order {
-		idx[n] = i
-	}
-
-	// Ancestor reachability as bitsets over topological indices: row i is
-	// the union of every parent's row plus the parent itself. One
-	// O(V·E/64) pass replaces the per-retirement graph walks the engine
-	// used to pay (O(n²) pointer-chasing per run on deep DAGs). The whole
-	// table is V²/64 words — ~12 MB even at 10k nodes — and is retained
-	// on the Plan for the executor's C(n) pricing.
+// buildAncestors computes ancestor reachability as bitsets over
+// topological indices: row i is the union of every parent's row plus the
+// parent itself. One O(V·E/64) pass replaces the per-retirement graph
+// walks the engine used to pay (O(n²) pointer-chasing per run on deep
+// DAGs). The whole table is V²/64 words — ~12 MB even at 10k nodes — and
+// is retained on the Plan for the executor's C(n) pricing. It depends
+// only on topology, so the plan cache shares it across iterations whose
+// DAG shape did not change.
+func buildAncestors(order []*core.Node, pos []int32) ([]uint64, int) {
 	words := (len(order) + 63) / 64
 	anc := make([]uint64, len(order)*words)
 	row := func(i int) []uint64 { return anc[i*words : (i+1)*words] }
-	p.anc, p.ancWords = anc, words
 	for i, n := range order {
 		ri := row(i)
 		for _, par := range n.Parents() {
-			j := idx[par]
+			j := int(pos[par.ID])
 			for w, word := range row(j) {
 				ri[w] |= word
 			}
 			ri[j/64] |= 1 << uint(j%64)
 		}
 	}
+	return anc, words
+}
 
+// assemble builds the Plan artifact from solver states and/or reused
+// cached rows: per-node rows with rationale, state counts, cumulative
+// times C(n) from the ancestor bitsets, downstream critical-path tails
+// for the scheduler, and the Equation-1 projection.
+func (pl *Planner) assemble(in *planInputs, states map[*core.Node]core.State, anc []uint64, words int, reused []*NodePlan, outcome CacheOutcome, fp Fingerprint) *Plan {
+	order := in.order
+	p := &Plan{
+		Iteration:   in.iteration,
+		Nodes:       make([]*NodePlan, len(order)),
+		Counts:      make(map[core.State]int, 3),
+		Purge:       in.purge,
+		Cache:       outcome,
+		Fingerprint: fp,
+		anc:         anc,
+		ancWords:    words,
+	}
+
+	// Rows are block-allocated: one slice instead of V small objects per
+	// iteration keeps the per-plan GC bill flat.
+	rows := make([]NodePlan, len(order))
 	own := make([]float64, len(order))
 	for i, n := range order {
-		state := sol.States[n]
-		np := &NodePlan{
-			Index:        i,
-			Node:         n,
-			State:        state,
-			Live:         live[n],
-			Original:     originals[n],
-			Output:       outputs[n],
-			Costs:        costs[n], // zero value for non-live nodes
-			MandatoryMat: pl.Opts.MaterializeOutputs && outputs[n] && state == core.StateCompute,
-		}
-		switch state {
-		case core.StateCompute:
-			np.ProjectedOwn = np.Costs.Compute
-		case core.StateLoad:
-			np.ProjectedOwn = np.Costs.Load
+		np := &rows[i]
+		if reused != nil && reused[i] != nil {
+			*np = *reused[i]
+			np.Index = i
+			np.Node = n
+			np.Reused = true
+		} else {
+			// Nodes outside the (possibly restricted) solve are pruned:
+			// in a full solve the state map covers every node, and in a
+			// partial one every non-reused node missing from it is
+			// non-live.
+			state := core.StatePrune
+			if s, ok := states[n]; ok {
+				state = s
+			}
+			*np = NodePlan{
+				Index:        i,
+				Node:         n,
+				State:        state,
+				Live:         in.live[i],
+				Original:     in.originals[i],
+				Output:       in.outputs[i],
+				Costs:        in.costs[i], // zero value for non-live nodes
+				MandatoryMat: pl.Opts.MaterializeOutputs && in.outputs[i] && state == core.StateCompute,
+			}
+			switch state {
+			case core.StateCompute:
+				np.ProjectedOwn = np.Costs.Compute
+			case core.StateLoad:
+				np.ProjectedOwn = np.Costs.Load
+			}
+			np.Rationale = opt.Rationale(np.Costs, state, n.Deterministic, in.live[i])
 		}
 		own[i] = np.ProjectedOwn
-		np.Rationale = opt.Rationale(np.Costs, state, n.Deterministic, live[n])
-		if live[n] {
-			p.Counts[state]++
+		if in.live[i] {
+			p.Counts[np.State]++
 		}
 		p.Nodes[i] = np
-		p.byNode[n] = np
-		p.byName[n.Name] = np
 	}
 
 	// Projected cumulative times from the bitsets (pruned ancestors carry
-	// zero ProjectedOwn, so no filtering is needed).
+	// zero ProjectedOwn, so no filtering is needed), and the Equation-1
+	// total: the sum of every chosen state's own time.
 	for i, np := range p.Nodes {
 		cum := own[i]
 		p.ForEachAncestor(i, func(j int) { cum += own[j] })
 		np.ProjectedCum = cum
+		p.ProjectedSeconds += own[i]
 	}
-	return p, nil
+
+	// Downstream critical-path tails in reverse topological order: a
+	// node's tail is its own projected time plus the longest tail among
+	// compute-state children (loads read from disk and never wait on
+	// parents, so they do not extend a parent's tail).
+	for i := len(order) - 1; i >= 0; i-- {
+		np := p.Nodes[i]
+		var best float64
+		for _, c := range order[i].Children() {
+			if cp := p.Nodes[in.idx(c)]; cp.State == core.StateCompute && cp.ProjectedTail > best {
+				best = cp.ProjectedTail
+			}
+		}
+		np.ProjectedTail = own[i] + best
+	}
+	return p
 }

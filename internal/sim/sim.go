@@ -99,6 +99,14 @@ type IterationMetrics struct {
 	// statistics. Comparing it against Seconds measures the cost model's
 	// fidelity (0 at iteration 0, when no statistics exist yet).
 	ProjectedSeconds float64
+	// PlanSeconds is the iteration's planning share of Seconds: change
+	// tracking, slicing, fingerprinting, and (unless the plan cache hit)
+	// the OPT-EXEC-PLAN solve. Cold-vs-cached deltas of this column are
+	// the plan cache's payoff.
+	PlanSeconds float64
+	// PlanCache reports how the iteration's plan was obtained: "cold",
+	// "partial", or "hit".
+	PlanCache string
 	// Breakdown is per-component operator time (Figure 6).
 	Breakdown map[core.Component]float64
 	// MatSeconds is materialization overhead (Figure 6, gray). With
@@ -166,6 +174,14 @@ type Config struct {
 	// Parallelism bounds the execution scheduler's worker pool (0 keeps
 	// the session default of GOMAXPROCS).
 	Parallelism int
+	// PlanCache overrides the session's plan-cache setting (the zero
+	// value keeps the default of enabled); PlanCacheOff forces a cold
+	// solve every iteration, for A/B comparison.
+	PlanCache helix.PlanCacheMode
+	// Sched overrides the scheduler's ready-queue ordering (the zero
+	// value keeps the default critical-path priority); SchedFIFO
+	// restores pure arrival order, for A/B comparison.
+	Sched helix.SchedMode
 }
 
 // MatMode selects how a simulated run materializes intermediates.
@@ -227,6 +243,8 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 	if cfg.Parallelism > 0 {
 		opts.Parallelism = cfg.Parallelism
 	}
+	opts.PlanCache = cfg.PlanCache
+	opts.CriticalPath = cfg.Sched
 	sess, err := helix.NewSession(dir, opts)
 	if err != nil {
 		return nil, err
@@ -255,6 +273,8 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 			Type:             seq[t],
 			Seconds:          out.Wall.Seconds(),
 			ProjectedSeconds: projectedSeconds(out),
+			PlanSeconds:      out.PlanTime.Seconds(),
+			PlanCache:        planOutcome(out),
 			Breakdown:        make(map[core.Component]float64, 3),
 			MatSeconds:       out.MatTime.Seconds(),
 			FlushSeconds:     out.FlushWait.Seconds(),
@@ -280,4 +300,12 @@ func projectedSeconds(res *helix.Result) float64 {
 		return 0
 	}
 	return res.Plan.ProjectedSeconds
+}
+
+// planOutcome extracts the executed plan's cache outcome label.
+func planOutcome(res *helix.Result) string {
+	if res.Plan == nil {
+		return ""
+	}
+	return res.Plan.Cache.String()
 }

@@ -11,6 +11,7 @@ import (
 	"helix/internal/core"
 	"helix/internal/exec"
 	"helix/internal/opt"
+	"helix/internal/plan"
 	"helix/internal/store"
 )
 
@@ -89,7 +90,44 @@ type Options struct {
 	// this many operators run concurrently, regardless of DAG width. ≤0
 	// uses runtime.GOMAXPROCS(0).
 	Parallelism int
+	// PlanCache controls the iteration-over-iteration plan cache. The
+	// zero value, PlanCacheOn, fingerprints every iteration's planning
+	// inputs (DAG topology, chain signatures, the store's materialized
+	// set, carried statistics, options) and reuses the previous
+	// iteration's plan wholesale on a full match — skipping slicing,
+	// ancestor-bitset construction, and the max-flow solve — or
+	// re-solves only the changed components on a partial match.
+	// PlanCacheOff forces a cold solve every iteration.
+	PlanCache PlanCacheMode
+	// CriticalPath selects the execution scheduler's ready-queue
+	// ordering. The zero value, SchedCriticalPath, starts the ready node
+	// with the longest projected downstream chain first (using the
+	// plan's ProjectedTail values) so stragglers on unbalanced DAGs
+	// claim workers early; it degrades to FIFO when no projections
+	// exist. SchedFIFO forces pure arrival order.
+	CriticalPath SchedMode
 }
+
+// PlanCacheMode toggles the session's plan cache (Options.PlanCache).
+type PlanCacheMode int
+
+const (
+	// PlanCacheOn enables incremental planning (the default).
+	PlanCacheOn PlanCacheMode = iota
+	// PlanCacheOff re-solves the execution plan from scratch every
+	// iteration (the pre-cache behavior).
+	PlanCacheOff
+)
+
+// SchedMode selects the scheduler's ready-queue ordering
+// (Options.CriticalPath).
+type SchedMode = exec.SchedMode
+
+// Scheduler orderings: critical-path priority (default) or pure FIFO.
+const (
+	SchedCriticalPath = exec.SchedCriticalPath
+	SchedFIFO         = exec.SchedFIFO
+)
 
 // DefaultStorageBudget is the paper's experimental storage budget (§6.3).
 const DefaultStorageBudget = 10 << 30
@@ -179,11 +217,32 @@ func NewSession(dir string, options ...Options) (*Session, error) {
 			DisablePruning:      o.DisablePruning,
 			SyncMaterialization: o.SyncMaterialization,
 			Parallelism:         o.Parallelism,
+			Sched:               o.CriticalPath,
 		},
+	}
+	if o.PlanCache != PlanCacheOff {
+		// The config token pins every engine-level setting plan reuse must
+		// be conditioned on: a session opened with a different policy,
+		// budget, threshold, domain, or parallelism fingerprints
+		// differently and can never reuse this configuration's decisions.
+		eng.Cache = plan.NewCache(fmt.Sprintf(
+			"policy=%d budget=%d threshold=%g domain=%q parallelism=%d",
+			o.Policy, budget, o.OMPThreshold, o.Domain, o.Parallelism))
 	}
 	s := &Session{store: st, engine: eng, dir: dir}
 	s.loadState()
 	return s, nil
+}
+
+// PlanCacheStats reports the session's plan-cache consultation counters:
+// full fingerprint hits (plans reused with zero solves), partial hits
+// (only dirty components re-solved), and misses (cold solves). All zero
+// when the cache is disabled.
+func (s *Session) PlanCacheStats() plan.CacheStats {
+	if s.engine.Cache == nil {
+		return plan.CacheStats{}
+	}
+	return s.engine.Cache.Stats()
 }
 
 // loadState restores persisted change-tracking state; absence or
