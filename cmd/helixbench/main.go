@@ -23,6 +23,15 @@ import (
 	"helix/internal/workloads"
 )
 
+// experiments is the canonical set of -exp names ("all" aside); both the
+// flag validation and the dispatch assert membership.
+var experiments = map[string]bool{
+	"table1": true, "table2": true, "fig5": true, "fig6": true,
+	"fig7a": true, "fig7b": true, "fig8": true, "fig9": true,
+	"fig10": true, "ablation": true, "writebehind": true,
+	"headline": true,
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|writebehind|headline|all)")
 	scale := flag.Int("scale", 1, "workload size multiplier")
@@ -39,8 +48,23 @@ func main() {
 	}
 	ctx := context.Background()
 
+	// Reject unknown experiment names up front: a typo in -exp used to
+	// match nothing and exit silently successful, which reads as "the
+	// experiment ran and printed nothing". The experiments list is the
+	// single source of truth — the run() dispatch below checks itself
+	// against it, so a new experiment branch cannot drift out of the
+	// validation set unnoticed.
 	selected := strings.Split(*exp, ",")
+	for _, s := range selected {
+		if s != "all" && !experiments[s] {
+			fmt.Fprintf(os.Stderr, "helixbench: unknown experiment %q (see -exp in the usage comment)\n", s)
+			os.Exit(2)
+		}
+	}
 	run := func(name string) bool {
+		if !experiments[name] {
+			panic(fmt.Sprintf("helixbench: experiment %q dispatched but not in the experiments list", name))
+		}
 		for _, s := range selected {
 			if s == name || s == "all" {
 				return true

@@ -18,6 +18,12 @@
 // C(n), and the rationale for every Load/Compute/Prune choice — and then
 // executes it, so the projected plan can be compared against the realized
 // timings that follow.
+//
+// With -progress, each iteration streams the engine's structured run
+// events live — the plan decision with its cache outcome, every
+// operator's start and retirement with measured seconds and
+// materialization outcome, the flush barrier, and completion — instead
+// of going silent until the end-of-iteration table row.
 package main
 
 import (
@@ -46,12 +52,38 @@ func main() {
 	planCache := flag.Bool("plancache", true, "reuse the previous iteration's plan when the planning fingerprint matches")
 	sched := flag.String("sched", "critpath", "ready-queue ordering: critpath (longest projected chain first) or fifo")
 	explain := flag.Bool("explain", false, "print the optimizer's per-node decision table before each iteration")
+	progress := flag.Bool("progress", false, "stream per-node live progress from the run's event stream")
 	verbose := flag.Bool("v", false, "print per-operator states")
 	flag.Parse()
 
-	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *planCache, *sched, *explain, *verbose); err != nil {
+	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *planCache, *sched, *explain, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "helixrun:", err)
 		os.Exit(1)
+	}
+}
+
+// progressObserver renders the run's structured events as live progress
+// lines: per-node states as they happen instead of only the
+// end-of-iteration table.
+func progressObserver(ev helix.RunEvent) {
+	switch e := ev.(type) {
+	case helix.PlanEvent:
+		fmt.Printf("      plan  cache=%-7s compute=%d load=%d prune=%d projected=%.3fs plan=%.4fs\n",
+			e.Outcome, e.Compute, e.Load, e.Prune, e.ProjectedSeconds, e.PlanTime.Seconds())
+	case helix.NodeEvent:
+		if e.Phase == helix.NodeStarted {
+			fmt.Printf("      start %-20s %v\n", e.Name, e.State)
+		} else {
+			mat := ""
+			if e.Materialized {
+				mat = "  mat"
+			}
+			fmt.Printf("      done  %-20s %v %8.3fs%s\n", e.Name, e.State, e.Seconds, mat)
+		}
+	case helix.FlushEvent:
+		fmt.Printf("      flush wait=%.3fs\n", e.Wait.Seconds())
+	case helix.DoneEvent:
+		fmt.Printf("      done  iteration %d wall=%.3fs\n", e.Iteration, e.Wall.Seconds())
 	}
 }
 
@@ -64,7 +96,7 @@ func systemByName(name string) (sim.System, error) {
 	return sim.System{}, fmt.Errorf("unknown system %q", name)
 }
 
-func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, planCache bool, sched string, explain, verbose bool) error {
+func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, planCache bool, sched string, explain, progress, verbose bool) error {
 	workloads.RegisterAll()
 	sys, err := systemByName(system)
 	if err != nil {
@@ -84,27 +116,37 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 		}
 		defer os.RemoveAll(dir)
 	}
-	opts := sys.Options
+	// The flag set lowers onto the same functional options the public API
+	// exposes; the system preset supplies the baseline and the flags
+	// append overrides (later options win).
+	opts := append([]helix.Option(nil), sys.Options...)
 	if writeBehind {
-		opts.SyncMaterialization = false
+		opts = append(opts, helix.WithSyncMaterialization(false))
 	}
-	opts.Parallelism = parallelism
+	opts = append(opts, helix.WithParallelism(parallelism))
 	if !planCache {
-		opts.PlanCache = helix.PlanCacheOff
+		opts = append(opts, helix.WithPlanCache(helix.PlanCacheOff))
 	}
 	switch sched {
 	case "critpath", "":
-		opts.CriticalPath = helix.SchedCriticalPath
+		opts = append(opts, helix.WithScheduler(helix.SchedCriticalPath))
 	case "fifo":
-		opts.CriticalPath = helix.SchedFIFO
+		opts = append(opts, helix.WithScheduler(helix.SchedFIFO))
 	default:
 		return fmt.Errorf("unknown -sched %q (want critpath or fifo)", sched)
 	}
-	sess, err := helix.NewSession(dir, opts)
+	sess, err := helix.Open(dir, opts...)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
+
+	// -progress installs the observer per run (a run-scoped option), so
+	// the final outputs re-run below stays quiet.
+	var runOpts []helix.Option
+	if progress {
+		runOpts = append(runOpts, helix.WithObserver(progressObserver))
+	}
 
 	seq := wl.Sequence()
 	if iters <= 0 || iters > len(seq) {
@@ -135,7 +177,10 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 			}
 			fmt.Println(pl.Explain())
 		}
-		res, err := sess.Run(ctx, wf)
+		if progress {
+			fmt.Printf("iteration %d:\n", t)
+		}
+		res, err := sess.Run(ctx, wf, runOpts...)
 		if err != nil {
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}

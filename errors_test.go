@@ -1,0 +1,212 @@
+package helix_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"helix"
+)
+
+// TestErrBadWorkflow: declaration and compilation failures satisfy
+// errors.Is(err, ErrBadWorkflow) while keeping their specific message,
+// from both Compile and the session methods that compile.
+func TestErrBadWorkflow(t *testing.T) {
+	wf := helix.New("bad")
+	wf.Source("x", "v1", nil) // no function
+	if _, err := wf.Compile(); !errors.Is(err, helix.ErrBadWorkflow) {
+		t.Fatalf("Compile err = %v, want ErrBadWorkflow", err)
+	} else if !strings.Contains(err.Error(), "no function") {
+		t.Fatalf("Compile err lost its cause: %v", err)
+	}
+
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Run(context.Background(), wf); !errors.Is(err, helix.ErrBadWorkflow) {
+		t.Fatalf("Run err = %v, want ErrBadWorkflow", err)
+	}
+	if _, err := sess.Plan(wf); !errors.Is(err, helix.ErrBadWorkflow) {
+		t.Fatalf("Plan err = %v, want ErrBadWorkflow", err)
+	}
+
+	// A cycle found at lowering time is tagged too.
+	cyc := helix.New("cycle")
+	a := cyc.Scanner("a", "p", func(ctx context.Context, in []helix.Value) (helix.Value, error) { return 1, nil })
+	b := cyc.Scanner("b", "p", func(ctx context.Context, in []helix.Value) (helix.Value, error) { return 1, nil }, a)
+	a.Uses(b)
+	if _, err := cyc.Compile(); !errors.Is(err, helix.ErrBadWorkflow) {
+		t.Fatalf("cyclic Compile err = %v, want ErrBadWorkflow", err)
+	}
+}
+
+// TestErrPolicyUnknown covers both scopes: the constructor and a
+// run-scoped WithPolicy override.
+func TestErrPolicyUnknown(t *testing.T) {
+	if _, err := helix.Open(t.TempDir(), helix.WithPolicy(helix.Policy(99))); !errors.Is(err, helix.ErrPolicyUnknown) {
+		t.Fatalf("Open err = %v, want ErrPolicyUnknown", err)
+	}
+	if _, err := helix.NewSession(t.TempDir(), helix.Options{Policy: helix.Policy(99)}); !errors.Is(err, helix.ErrPolicyUnknown) {
+		t.Fatalf("NewSession err = %v, want ErrPolicyUnknown", err)
+	}
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var c atomic.Int64
+	if _, err := sess.Run(context.Background(), optWorkflow(&c, "LR reg=0.1"),
+		helix.WithPolicy(helix.Policy(77))); !errors.Is(err, helix.ErrPolicyUnknown) {
+		t.Fatalf("run-scoped err = %v, want ErrPolicyUnknown", err)
+	}
+	if c.Load() != 0 || sess.Iteration() != 0 {
+		t.Fatal("rejected run executed work or advanced the iteration")
+	}
+}
+
+// TestConstructorFailureLeaksNothing is the store-leak regression test:
+// a failed constructor (unknown policy) must not leave the store's
+// writer pool or any other goroutine behind, and must not wedge the
+// directory for a subsequent good open.
+func TestConstructorFailureLeaksNothing(t *testing.T) {
+	dir := t.TempDir()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := helix.Open(dir, helix.WithPolicy(helix.Policy(99))); err == nil {
+			t.Fatal("expected unknown-policy error")
+		}
+	}
+	// Let any stray goroutine that was (incorrectly) spawned settle
+	// before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("failed constructors leaked goroutines: %d before, %d after", before, after)
+	}
+
+	// The directory still opens and runs cleanly.
+	sess, err := helix.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c atomic.Int64
+	if _, err := sess.Run(context.Background(), optWorkflow(&c, "LR reg=0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestErrSessionClosed: Run and Plan after Close fail typed; Close is
+// idempotent.
+func TestErrSessionClosed(t *testing.T) {
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c atomic.Int64
+	wf := optWorkflow(&c, "LR reg=0.1")
+	if _, err := sess.Run(context.Background(), wf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background(), wf); !errors.Is(err, helix.ErrSessionClosed) {
+		t.Fatalf("Run after Close err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Plan(wf); !errors.Is(err, helix.ErrSessionClosed) {
+		t.Fatalf("Plan after Close err = %v, want ErrSessionClosed", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close err = %v, want nil", err)
+	}
+}
+
+// TestErrConcurrentRun: a second Run while one is in flight is rejected
+// with the sentinel; run under -race this also proves the guard makes
+// the prev/iter handoff race-free.
+func TestErrConcurrentRun(t *testing.T) {
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	wf := helix.New("slow")
+	wf.Source("gate", "v1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		close(inFlight)
+		<-release
+		return 1.0, nil
+	}).IsOutput()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstErr error
+	go func() {
+		defer wg.Done()
+		_, firstErr = sess.Run(ctx, wf)
+	}()
+	<-inFlight
+
+	var c atomic.Int64
+	if _, err := sess.Run(ctx, optWorkflow(&c, "LR reg=0.1")); !errors.Is(err, helix.ErrConcurrentRun) {
+		t.Fatalf("concurrent Run err = %v, want ErrConcurrentRun", err)
+	}
+	close(release)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("first Run failed: %v", firstErr)
+	}
+
+	// After the first Run finished, the session accepts work again.
+	if _, err := sess.Run(ctx, optWorkflow(&c, "LR reg=0.1")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeError: an operator failure surfaces as *NodeError carrying the
+// operator name and unwrapping to the operator's own error.
+func TestNodeError(t *testing.T) {
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	boom := errors.New("model exploded")
+	wf := helix.New("failing")
+	src := wf.Source("data", "v1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return 1.0, nil
+	})
+	wf.Learner("model", "LR", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		return nil, boom
+	}, src).IsOutput()
+
+	_, err = sess.Run(context.Background(), wf)
+	var ne *helix.NodeError
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v (%T), want *NodeError", err, err)
+	}
+	if ne.Op != "model" {
+		t.Fatalf("NodeError.Op = %q, want model", ne.Op)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v does not unwrap to the operator's error", err)
+	}
+}

@@ -1,0 +1,51 @@
+package helix
+
+import "helix/internal/exec"
+
+// RunObserver receives the structured events a running iteration emits.
+// Install one with WithObserver — on the session (every Run reports to
+// it) or on a single Run call (that run only). Events are delivered
+// serially, but on whichever worker goroutine produced them: a slow
+// observer slows the run, so hand heavy work to a channel. When no
+// observer is installed, no events are constructed — instrumentation is
+// free when off.
+//
+// An iteration's stream is, in order: one PlanEvent (how the plan was
+// obtained and what it projects), then interleaved NodeEvents (a
+// NodeStarted/NodeRetired pair per executing live node; solver-pruned
+// live nodes retire immediately without starting), one FlushEvent (the
+// write-behind barrier), and — on success only — one DoneEvent. A failed
+// run's stream simply ends; the error reaches the Run caller.
+type RunObserver = exec.Observer
+
+// RunEvent is one structured occurrence within a running iteration.
+// Concrete types: PlanEvent, NodeEvent, FlushEvent, DoneEvent.
+type RunEvent = exec.Event
+
+// PlanEvent reports the plan an iteration is about to execute: the
+// plan-cache outcome (cold/partial/hit), the Equation-1 projection, time
+// spent planning, and the live-node state mix. Exactly one per run,
+// before any node starts.
+type PlanEvent = exec.PlanEvent
+
+// NodeEvent reports one operator's lifecycle transition (see NodePhase).
+type NodeEvent = exec.NodeEvent
+
+// FlushEvent reports the write-behind flush barrier after the last node
+// finished.
+type FlushEvent = exec.FlushEvent
+
+// DoneEvent reports successful completion of the iteration.
+type DoneEvent = exec.DoneEvent
+
+// NodePhase distinguishes the lifecycle points a NodeEvent reports.
+type NodePhase = exec.NodePhase
+
+// Node lifecycle phases.
+const (
+	// NodeStarted fires when a worker picks the node up.
+	NodeStarted = exec.NodeStarted
+	// NodeRetired fires when the node goes out of scope: its own time is
+	// final and its materialization decision has been made.
+	NodeRetired = exec.NodeRetired
+)

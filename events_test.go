@@ -1,0 +1,187 @@
+package helix_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"helix"
+	"helix/internal/core"
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+// eventLog records an observer's deliveries in order. The engine
+// delivers serially but from worker goroutines, so appends lock.
+type eventLog struct {
+	mu     sync.Mutex
+	events []helix.RunEvent
+}
+
+func (l *eventLog) observe(ev helix.RunEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) take() []helix.RunEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.events
+	l.events = nil
+	return out
+}
+
+// TestObserverEventStream is the acceptance scenario: a recorded event
+// stream for a census run contains exactly one plan event with the
+// correct cache outcome, node events whose states match Result.Plan
+// (every executing live node starts and retires exactly once; pruned
+// live nodes retire without starting), and a final flush + done pair.
+func TestObserverEventStream(t *testing.T) {
+	workloads.RegisterAll()
+	wl, err := sim.NewWorkload("census", workloads.Scale{Rows: 1, CostFactor: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log eventLog
+	sess, err := helix.Open(t.TempDir(), helix.WithObserver(log.observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Two iterations: 0 is a cold computed run, 1 reuses (loads/prunes),
+	// exercising every node-state shape of the stream.
+	for iter := 0; iter < 2; iter++ {
+		res, err := sess.Run(ctx, wl.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := log.take()
+		if len(events) == 0 {
+			t.Fatalf("iteration %d emitted no events", iter)
+		}
+
+		// Exactly one plan event, first in the stream, with the plan's
+		// own cache outcome and state mix.
+		plans := 0
+		for _, ev := range events {
+			if _, ok := ev.(helix.PlanEvent); ok {
+				plans++
+			}
+		}
+		if plans != 1 {
+			t.Fatalf("iteration %d: %d plan events, want exactly 1", iter, plans)
+		}
+		pe, ok := events[0].(helix.PlanEvent)
+		if !ok {
+			t.Fatalf("iteration %d: first event %T, want PlanEvent", iter, events[0])
+		}
+		if pe.Iteration != iter {
+			t.Fatalf("plan event iteration %d, want %d", pe.Iteration, iter)
+		}
+		if pe.Outcome != res.Plan.Cache {
+			t.Fatalf("plan event outcome %v, want %v", pe.Outcome, res.Plan.Cache)
+		}
+		if pe.Compute != res.StateCounts[core.StateCompute] ||
+			pe.Load != res.StateCounts[core.StateLoad] ||
+			pe.Prune != res.StateCounts[core.StatePrune] {
+			t.Fatalf("plan event mix {%d %d %d} != result counts %v",
+				pe.Compute, pe.Load, pe.Prune, res.StateCounts)
+		}
+
+		// Node events: states match the executed plan; every executing
+		// live node starts and retires exactly once, pruned live nodes
+		// retire exactly once without starting.
+		started := map[string]int{}
+		retired := map[string]int{}
+		for _, ev := range events {
+			ne, ok := ev.(helix.NodeEvent)
+			if !ok {
+				continue
+			}
+			np := res.Plan.ByName(ne.Name)
+			if np == nil {
+				t.Fatalf("node event for %q not in plan", ne.Name)
+			}
+			if ne.State != np.State {
+				t.Fatalf("node %s event state %v, plan state %v", ne.Name, ne.State, np.State)
+			}
+			if !np.Live {
+				t.Fatalf("node event for non-live node %q", ne.Name)
+			}
+			if ne.Phase == helix.NodeStarted {
+				started[ne.Name]++
+			} else {
+				retired[ne.Name]++
+			}
+		}
+		for _, np := range res.Plan.Nodes {
+			if !np.Live {
+				continue
+			}
+			name := np.Node.Name
+			wantStart := 0
+			if np.State != core.StatePrune {
+				wantStart = 1
+			}
+			if started[name] != wantStart {
+				t.Fatalf("iteration %d: node %s started %d times, want %d", iter, name, started[name], wantStart)
+			}
+			if retired[name] != 1 {
+				t.Fatalf("iteration %d: node %s retired %d times, want 1", iter, name, retired[name])
+			}
+		}
+
+		// The stream ends with the flush barrier followed by done.
+		last, prev := events[len(events)-1], events[len(events)-2]
+		de, ok := last.(helix.DoneEvent)
+		if !ok {
+			t.Fatalf("iteration %d: last event %T, want DoneEvent", iter, last)
+		}
+		if de.Iteration != iter || de.Wall != res.Wall || de.FlushWait != res.FlushWait {
+			t.Fatalf("done event %+v inconsistent with result (wall %v flush %v)", de, res.Wall, res.FlushWait)
+		}
+		fe, ok := prev.(helix.FlushEvent)
+		if !ok {
+			t.Fatalf("iteration %d: penultimate event %T, want FlushEvent", iter, prev)
+		}
+		if fe.Wait != res.FlushWait {
+			t.Fatalf("flush event wait %v, want %v", fe.Wait, res.FlushWait)
+		}
+	}
+}
+
+// TestRunScopedObserver: a run-scoped WithObserver sees exactly its own
+// run, and a session without an observer emits nothing before or after.
+func TestRunScopedObserver(t *testing.T) {
+	workloads.RegisterAll()
+	wl, err := sim.NewWorkload("census", workloads.Scale{Rows: 1, CostFactor: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	if _, err := sess.Run(ctx, wl.Build()); err != nil {
+		t.Fatal(err)
+	}
+	var log eventLog
+	if _, err := sess.Run(ctx, wl.Build(), helix.WithObserver(log.observe)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.take()); n == 0 {
+		t.Fatal("run-scoped observer saw no events")
+	}
+	if _, err := sess.Run(ctx, wl.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.take()); n != 0 {
+		t.Fatalf("observer saw %d events from a run it was not installed on", n)
+	}
+}

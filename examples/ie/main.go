@@ -49,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	sess, err := helix.NewSession(dir)
+	sess, err := helix.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}

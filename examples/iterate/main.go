@@ -35,14 +35,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dirOpt)
-	sess, err := helix.NewSession(dirOpt)
+	sess, err := helix.Open(dirOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// From-scratch baseline (KeystoneML-style) for the same sequence.
-	baseline, err := helix.NewSession(os.TempDir()+"/helix-iterate-baseline",
-		helix.Options{Policy: helix.PolicyNever, DisableReuse: true})
+	baseline, err := helix.Open(os.TempDir()+"/helix-iterate-baseline",
+		helix.WithPolicy(helix.PolicyNever), helix.WithReuse(false))
 	if err != nil {
 		log.Fatal(err)
 	}

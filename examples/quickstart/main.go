@@ -74,7 +74,13 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	sess, err := helix.NewSession(dir)
+	// A session observer streams structured run events: here, one line
+	// per retired operator with its state and measured time.
+	sess, err := helix.Open(dir, helix.WithObserver(func(ev helix.RunEvent) {
+		if e, ok := ev.(helix.NodeEvent); ok && e.Phase == helix.NodeRetired {
+			fmt.Printf("    [event] %-8s %-7v %.3fs\n", e.Name, e.State, e.Seconds)
+		}
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}

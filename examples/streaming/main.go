@@ -39,7 +39,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	sess, err := helix.NewSession(dir, helix.Options{Policy: helix.PolicyOptMiniBatch})
+	sess, err := helix.Open(dir, helix.WithPolicy(helix.PolicyOptMiniBatch))
 	if err != nil {
 		log.Fatal(err)
 	}

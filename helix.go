@@ -24,10 +24,16 @@
 //	acc := wf.Reducer("checked", "accuracy", evaluate, pred)
 //	acc.IsOutput()
 //
-//	sess, _ := helix.NewSession(dir)
+//	sess, _ := helix.Open(dir)
 //	res, _ := sess.Run(ctx, wf)     // iteration 0: full run
 //	// ... modify the workflow declaration ...
 //	res, _ = sess.Run(ctx, wf2)     // iteration 1: reuses unchanged work
+//
+// Open accepts functional options (WithPolicy, WithParallelism,
+// WithObserver, …) that set the session baseline; Run and Plan accept
+// the same options as run-scoped overrides for one call, and failures
+// are classified by the package's typed errors (ErrBadWorkflow,
+// NodeError, …).
 package helix
 
 import (

@@ -32,14 +32,19 @@ type IterationRecord struct {
 }
 
 // History returns the session's per-iteration records, oldest first. The
-// slice is owned by the caller.
+// slice is owned by the caller. History is persisted with the session
+// state, so a session reopened on the same directory sees the records of
+// iterations run before the restart.
 func (s *Session) History() []IterationRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]IterationRecord, len(s.history))
 	copy(out, s.history)
 	return out
 }
 
 // recordHistory appends an iteration record derived from a run result.
+// The caller holds s.mu.
 func (s *Session) recordHistory(wf *Workflow, res *Result, started time.Time, changed []string) {
 	rec := IterationRecord{
 		Iteration:    res.Iteration,

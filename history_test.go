@@ -1,0 +1,176 @@
+package helix
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// topoWorkflow is buildWorkflow plus an extra extractor spliced between
+// scanner and learner — a topology change relative to buildWorkflow.
+func topoWorkflow(calls *atomic.Int64) *Workflow {
+	wf := New("sess-test")
+	src := wf.Source("data", "v1", func(ctx context.Context, in []Value) (Value, error) {
+		calls.Add(1)
+		return []string{"a", "b", "c"}, nil
+	})
+	rows := wf.Scanner("rows", "csv", func(ctx context.Context, in []Value) (Value, error) {
+		calls.Add(1)
+		return len(in[0].([]string)), nil
+	}, src)
+	feat := wf.Extractor("feat", "squared", func(ctx context.Context, in []Value) (Value, error) {
+		calls.Add(1)
+		return in[0].(int) * in[0].(int), nil
+	}, rows)
+	model := wf.Learner("model", "LR reg=0.1", func(ctx context.Context, in []Value) (Value, error) {
+		calls.Add(1)
+		return in[0].(int) * 100, nil
+	}, feat)
+	wf.Reducer("checked", "acc", func(ctx context.Context, in []Value) (Value, error) {
+		calls.Add(1)
+		return float64(in[0].(int)), nil
+	}, model).IsOutput()
+	return wf
+}
+
+// TestHistoryRecordContents pins every IterationRecord field a run
+// derives: state counts, materialization time, storage, timing.
+func TestHistoryRecordContents(t *testing.T) {
+	sess, err := Open(t.TempDir(), WithPolicy(PolicyAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	before := time.Now()
+	var c atomic.Int64
+	res, err := sess.Run(context.Background(), buildWorkflow(&c, "LR reg=0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sess.History()
+	if len(h) != 1 {
+		t.Fatalf("history length = %d", len(h))
+	}
+	rec := h[0]
+	if rec.Iteration != 0 || rec.WorkflowName != "sess-test" {
+		t.Fatalf("record identity wrong: %+v", rec)
+	}
+	if rec.Started.Before(before) || rec.Started.After(time.Now()) {
+		t.Fatalf("Started %v outside the run window", rec.Started)
+	}
+	if rec.Wall <= 0 || rec.Wall != res.Wall {
+		t.Fatalf("Wall %v, result %v", rec.Wall, res.Wall)
+	}
+	if rec.States[StateCompute] != res.StateCounts[StateCompute] ||
+		rec.States[StateLoad] != res.StateCounts[StateLoad] ||
+		rec.States[StatePrune] != res.StateCounts[StatePrune] {
+		t.Fatalf("States %v != result counts %v", rec.States, res.StateCounts)
+	}
+	if rec.MatTime != res.MatTime {
+		t.Fatalf("MatTime %v, result %v", rec.MatTime, res.MatTime)
+	}
+	if rec.StorageBytes != res.StorageBytes || rec.StorageBytes == 0 {
+		t.Fatalf("StorageBytes %d, result %d (PolicyAlways must store)", rec.StorageBytes, res.StorageBytes)
+	}
+}
+
+// TestHistoryChangedOperators covers the three iteration shapes: an
+// edit (learner params), a no-op rerun, and a topology change (an
+// operator spliced into the middle of the chain).
+func TestHistoryChangedOperators(t *testing.T) {
+	sess, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	var c atomic.Int64
+
+	// Iteration 0: everything is original.
+	if _, err := sess.Run(ctx, buildWorkflow(&c, "LR reg=0.1")); err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 1: edit — the learner and its descendant change.
+	if _, err := sess.Run(ctx, buildWorkflow(&c, "LR reg=0.5")); err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 2: no-op rerun — nothing changes.
+	if _, err := sess.Run(ctx, buildWorkflow(&c, "LR reg=0.5")); err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 3: topology change — "feat" appears, and everything
+	// downstream of it (model, checked) becomes original. The learner
+	// params revert to reg=0.1 as part of the new chain.
+	if _, err := sess.Run(ctx, topoWorkflow(&c)); err != nil {
+		t.Fatal(err)
+	}
+
+	h := sess.History()
+	if len(h) != 4 {
+		t.Fatalf("history length = %d", len(h))
+	}
+	if got := h[0].Changed; len(got) != 4 {
+		t.Fatalf("iteration 0 changed = %v, want all 4", got)
+	}
+	if got := h[1].Changed; len(got) != 2 || got[0] != "checked" || got[1] != "model" {
+		t.Fatalf("edit iteration changed = %v, want [checked model]", got)
+	}
+	if got := h[2].Changed; len(got) != 0 {
+		t.Fatalf("no-op iteration changed = %v, want none", got)
+	}
+	if got := h[3].Changed; len(got) != 3 || got[0] != "checked" || got[1] != "feat" || got[2] != "model" {
+		t.Fatalf("topology iteration changed = %v, want [checked feat model]", got)
+	}
+}
+
+// TestHistorySurvivesReopen: history is part of the persisted session
+// state — a session reopened on the same directory sees the records of
+// iterations run before the restart and appends after them.
+func TestHistorySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	sess, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c atomic.Int64
+	if _, err := sess.Run(ctx, buildWorkflow(&c, "LR reg=0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, buildWorkflow(&c, "LR reg=0.5")); err != nil {
+		t.Fatal(err)
+	}
+	want := sess.History()
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	got := resumed.History()
+	if len(got) != len(want) {
+		t.Fatalf("reopened history length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Iteration != want[i].Iteration ||
+			got[i].WorkflowName != want[i].WorkflowName ||
+			len(got[i].Changed) != len(want[i].Changed) ||
+			got[i].Wall != want[i].Wall ||
+			got[i].States[StateCompute] != want[i].States[StateCompute] {
+			t.Fatalf("record %d differs after reopen:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+
+	// New iterations append after the restored records.
+	if _, err := resumed.Run(ctx, buildWorkflow(&c, "LR reg=0.5")); err != nil {
+		t.Fatal(err)
+	}
+	h := resumed.History()
+	if len(h) != 3 || h[2].Iteration != 2 {
+		t.Fatalf("post-reopen history = %d records, last iteration %d; want 3 and 2", len(h), h[len(h)-1].Iteration)
+	}
+}

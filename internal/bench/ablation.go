@@ -45,7 +45,7 @@ func AblationOMPThreshold(ctx context.Context, cfg Config) (map[float64]float64,
 		}
 		sys := sim.System{
 			Name:    fmt.Sprintf("helix-opt-th%g", th),
-			Options: helix.Options{Policy: helix.PolicyOpt, OMPThreshold: th},
+			Options: []helix.Option{helix.WithPolicy(helix.PolicyOpt), helix.WithOMPThreshold(th)},
 		}
 		res, err := sim.RunSeries(ctx, wl, sys, sim.Config{Iterations: cfg.Iterations})
 		if err != nil {
@@ -135,7 +135,7 @@ func AblationPruning(ctx context.Context, cfg Config) (on, off float64, err erro
 		}
 		sys := sim.System{
 			Name:    "helix-opt",
-			Options: helix.Options{Policy: helix.PolicyOpt, DisablePruning: disable},
+			Options: []helix.Option{helix.WithPolicy(helix.PolicyOpt), helix.WithPruning(!disable)},
 		}
 		res, rerr := sim.RunSeries(ctx, wl, sys, sim.Config{Iterations: cfg.Iterations})
 		if rerr != nil {
@@ -205,10 +205,10 @@ func AblationAmortizedOMP(ctx context.Context, cfg Config) (*AmortizedComparison
 		if err != nil {
 			return nil, err
 		}
-		opts := helix.Options{Policy: helix.PolicyOpt}
+		opts := []helix.Option{helix.WithPolicy(helix.PolicyOpt)}
 		name := "helix-opt"
 		if amortized {
-			opts = helix.Options{Policy: helix.PolicyOptAmortized, Domain: "census"}
+			opts = []helix.Option{helix.WithPolicy(helix.PolicyOptAmortized), helix.WithDomain("census")}
 			name = "helix-opt-amortized"
 		}
 		res, err := sim.RunSeries(ctx, wl, sim.System{Name: name, Options: opts}, sim.Config{Iterations: cfg.Iterations})

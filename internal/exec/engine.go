@@ -107,6 +107,21 @@ type Options struct {
 	// exist (iteration 0) all priorities are zero and the order degrades
 	// to exact FIFO. SchedFIFO forces pure arrival order.
 	Sched SchedMode
+	// IOWorkers sizes the Load-state I/O pool explicitly (the "io"
+	// worker class). ≤0 keeps the heuristic max(Parallelism,
+	// minLoadWorkers); either way the pool is capped by the plan's load
+	// count.
+	IOWorkers int
+	// ConfigToken describes the engine-level configuration the run
+	// executes under, for the plan cache's fingerprint: two runs with
+	// differing tokens can never reuse each other's plans. Empty falls
+	// back to the Cache's session-wide token.
+	ConfigToken string
+	// Observer, when non-nil, receives the run's structured events (plan
+	// decided, node started/retired, flush barrier, iteration done).
+	// Events are delivered serially but from worker goroutines; a nil
+	// observer costs nothing.
+	Observer Observer
 }
 
 // SchedMode selects the scheduler's ready-queue ordering policy.
@@ -234,6 +249,16 @@ func (v storeView) EstimateLoad(size int64) time.Duration {
 // d itself (signatures and carried metrics). prev is the previous
 // iteration's DAG (nil at iteration 0) used for change tracking.
 func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, error) {
+	return e.PlanWith(d, prev, iteration, e.Opts)
+}
+
+// PlanWith is Plan under an explicit per-call configuration: the given
+// Options replace the engine's for this call only, letting one engine
+// serve run-scoped overrides (Session.Plan/Run options) without
+// rebuilding its store, cache, or pooled solver. The options'
+// ConfigToken flows into the plan fingerprint, so plans built under
+// differing configurations are never confused by the cache.
+func (e *Engine) PlanWith(d *core.DAG, prev *core.DAG, iteration int, opts Options) (*plan.Plan, error) {
 	e.planMu.Lock()
 	defer e.planMu.Unlock()
 	pl := &plan.Planner{
@@ -241,12 +266,13 @@ func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, e
 		// ignores the view and suppresses the purge spec by itself.
 		View: storeView{e.Store},
 		Opts: plan.Options{
-			DisableReuse:       e.Opts.DisableReuse,
-			DisablePruning:     e.Opts.DisablePruning,
-			MaterializeOutputs: e.Opts.MaterializeOutputs,
+			DisableReuse:       opts.DisableReuse,
+			DisablePruning:     opts.DisablePruning,
+			MaterializeOutputs: opts.MaterializeOutputs,
 		},
-		Cache:  e.Cache,
-		Solver: &e.solver,
+		Cache:       e.Cache,
+		Solver:      &e.solver,
+		ConfigToken: opts.ConfigToken,
 	}
 	p, err := pl.Plan(d, prev, iteration)
 	if err != nil {
@@ -296,8 +322,16 @@ type nodeRun struct {
 // carries updated metrics and should be retained as prev for the next
 // iteration.
 func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iteration int) (*Result, error) {
+	return e.RunWith(ctx, prog, prev, iteration, e.Opts)
+}
+
+// RunWith is Run under an explicit per-call configuration (see PlanWith):
+// policy, scheduling, pools, and observer all come from opts for this
+// call only, so one engine can execute successive iterations under
+// run-scoped overrides.
+func (e *Engine) RunWith(ctx context.Context, prog *Program, prev *core.DAG, iteration int, opts Options) (*Result, error) {
 	start := time.Now()
-	p, err := e.Plan(prog.DAG, prev, iteration)
+	p, err := e.PlanWith(prog.DAG, prev, iteration, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +340,7 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 	// stay on the bill exactly as when they lived inline here. The
 	// planning share is reported separately as Result.PlanTime, which is
 	// what the plan cache shrinks on fingerprint hits.
-	return e.execute(ctx, prog, p, start, time.Since(start))
+	return e.execute(ctx, prog, p, start, time.Since(start), &opts)
 }
 
 // Execute carries out a previously built plan against the program it was
@@ -316,10 +350,10 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 // bounded scheduler. Result.Wall is measured from Execute entry; Run
 // measures from its own entry so planning time is included there.
 func (e *Engine) Execute(ctx context.Context, prog *Program, p *plan.Plan) (*Result, error) {
-	return e.execute(ctx, prog, p, time.Now(), 0)
+	return e.execute(ctx, prog, p, time.Now(), 0, &e.Opts)
 }
 
-func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time, planTime time.Duration) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time, planTime time.Duration, opts *Options) (*Result, error) {
 	d := prog.DAG
 	// Fail fast on plan/program mispairing: fn lookup is by node pointer,
 	// so a plan built from a different Compile of even the same workflow
@@ -336,6 +370,11 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 		}
 	}
 
+	// The plan event opens the run's observer stream: the decision is
+	// final here, before purge or any node starts.
+	em := newEmitter(opts.Observer, p.Iteration)
+	em.plan(p, planTime)
+
 	// Purge deprecated materializations per the plan's decision: an
 	// original node's old results can never be reused (paper §6.6).
 	if p.Purge != nil {
@@ -350,7 +389,15 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 			return nil, fmt.Errorf("exec: purge: %w", err)
 		}
 		// Return the freed bytes to budget-tracking policies so storage
-		// reclaimed from deprecated results can be spent again.
+		// reclaimed from deprecated results can be spent again. The credit
+		// goes to the engine's own (session-baseline) policy, not a
+		// run-scoped override's instance: reservations were made by the
+		// baseline in steady state, and crediting whichever configuration
+		// happens to be active when the purge runs would leak budget from
+		// the reserving instance into the override's (the override could
+		// then exceed its cap while the baseline under-materializes
+		// forever). A purge of bytes an override itself reserved is the
+		// rare case and errs in the conservative direction.
 		if rel, ok := e.Opts.Policy.(interface{ Release(int64) }); ok && freed > 0 {
 			rel.Release(freed)
 		}
@@ -374,6 +421,12 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	for _, r := range runs {
 		if r.state == core.StatePrune {
 			close(r.done)
+			// A live node the solver pruned is "retired" the moment the
+			// run starts: it will never execute. Non-live nodes are
+			// outside the program slice and emit nothing.
+			if r.np.Live {
+				em.node(r.node.Name, NodeRetired, core.StatePrune, 0, false, 0)
+			}
 			continue
 		}
 		scheduled++
@@ -396,7 +449,7 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	}
 
 	var sampler *memSampler
-	if e.Opts.SampleMemory {
+	if opts.SampleMemory {
 		sampler = startMemSampler(5 * time.Millisecond)
 	}
 
@@ -404,6 +457,8 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	defer cancel()
 	st := &runState{
 		engine:    e,
+		opts:      opts,
+		em:        em,
 		plan:      p,
 		runs:      byNode,
 		times:     make([]atomic.Uint64, len(runs)),
@@ -427,11 +482,12 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	// PutBytes errors), keeping the two modes' failure semantics
 	// identical for A/B comparison.
 	var flushWait time.Duration
-	if !e.Opts.SyncMaterialization {
+	if !opts.SyncMaterialization {
 		flushStart := time.Now()
 		_ = e.Store.Flush()
 		flushWait = time.Since(flushStart)
 	}
+	em.flush(flushWait)
 
 	if err := firstError(runs); err != nil {
 		return nil, err
@@ -475,18 +531,21 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	res.Wall = computeWall
 	res.PlanTime = planTime
 	res.FlushWait = flushWait
+	em.done(computeWall, flushWait)
 	return res, nil
 }
 
 // firstError scans the runs for failures, preferring a real operator or
 // load error over the context-cancellation errors that cascade from it.
+// Failures surface as *NodeError so callers can identify the operator
+// with errors.As and classify the cause with errors.Is.
 func firstError(runs []*nodeRun) error {
 	var first error
 	for _, r := range runs {
 		if r.err == nil {
 			continue
 		}
-		wrapped := fmt.Errorf("exec: node %q: %w", r.node.Name, r.err)
+		wrapped := &NodeError{Op: r.node.Name, Err: r.err}
 		if !errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
 			return wrapped
 		}
@@ -527,14 +586,14 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 	if scheduled == 0 {
 		return
 	}
-	par := e.Opts.Parallelism
+	par := st.opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par > scheduled {
 		par = scheduled
 	}
-	critPath := e.Opts.Sched != SchedFIFO
+	critPath := st.opts.Sched != SchedFIFO
 	if critPath {
 		for _, r := range runs {
 			r.pri = r.np.ProjectedTail
@@ -615,6 +674,10 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 		}()
 	}
 	ioPar := max(par, minLoadWorkers)
+	if st.opts.IOWorkers > 0 {
+		// The "io" worker class was sized explicitly.
+		ioPar = st.opts.IOWorkers
+	}
 	if ioPar > len(loadRuns) {
 		ioPar = len(loadRuns)
 	}
@@ -644,8 +707,14 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 // runState holds shared execution state.
 type runState struct {
 	engine *Engine
-	plan   *plan.Plan
-	runs   map[*core.Node]*nodeRun
+	// opts is the run's effective configuration: the engine's own Opts
+	// for Run/Execute, or the per-call override for RunWith.
+	opts *Options
+	// em delivers observer events; nil when no observer is installed
+	// (every emit method nil-checks the receiver).
+	em   *emitter
+	plan *plan.Plan
+	runs map[*core.Node]*nodeRun
 	// times publishes each run's measured own time t(n), indexed by plan
 	// order, as atomic float bits. Written once when a node finishes;
 	// retirement sums ancestor entries to price C(n). A still-running
@@ -695,6 +764,8 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		return
 	}
 
+	s.em.node(n.Name, NodeStarted, r.state, 0, false, 0)
+
 	switch r.state {
 	case core.StateLoad:
 		value, dur, err := s.engine.Store.Get(n.ChainSignature())
@@ -739,12 +810,12 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 			return
 		}
 		elapsed := time.Since(start)
-		if f := s.engine.Opts.DPRSlowdown; f > 1 && n.Component == core.DPR {
+		if f := s.opts.DPRSlowdown; f > 1 && n.Component == core.DPR {
 			extra := time.Duration(float64(elapsed) * (f - 1))
 			time.Sleep(extra)
 			elapsed += extra
 		}
-		if f := s.engine.Opts.LISlowdown; f > 1 && n.Component == core.LI {
+		if f := s.opts.LISlowdown; f > 1 && n.Component == core.LI {
 			extra := time.Duration(float64(elapsed) * (f - 1))
 			time.Sleep(extra)
 			elapsed += extra
@@ -778,23 +849,41 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 }
 
 // retire handles an out-of-scope node (Definition 5, Constraint 3): decide
-// materialization via the policy (Algorithm 2), then release the in-memory
-// reference (eager cache pruning, §5.4).
+// materialization via the policy (Algorithm 2), release the in-memory
+// reference (eager cache pruning, §5.4), then emit the node's NodeRetired
+// event with the settled outcome as known at this moment (async writes
+// still in the writer pool report unmaterialized; see NodeEvent).
 func (s *runState) retire(r *nodeRun) {
 	if !atomic.CompareAndSwapInt32(&r.retired, 0, 1) {
 		return
 	}
+	materialized, bytes := s.retireValue(r)
+	if r.err == nil {
+		s.em.node(r.node.Name, NodeRetired, r.state, r.ownSecs, materialized, bytes)
+	}
+}
+
+// retireValue applies the retirement decision and reports whether the
+// node's result is known to be on disk at this point, plus its serialized
+// size when known. The policy and materialization mode come from the
+// run's effective options, so a run-scoped policy override governs this
+// run's materialization decisions too, not only its plan.
+func (s *runState) retireValue(r *nodeRun) (materialized bool, bytes int64) {
 	n := r.node
 	if r.state != core.StateCompute || r.err != nil {
 		// Loaded results are already on disk: just release the cache
-		// reference. Pruned nodes have no value.
+		// reference. Pruned nodes have no value. (The store lookup also
+		// reports honestly when a load fell back to recomputation after
+		// its materialization vanished.)
 		if r.state == core.StateLoad && !s.outputs[n] {
 			s.evict(r)
 		}
-		return
+		onDisk := r.err == nil && r.state == core.StateLoad && s.engine.Store.Has(n.ChainSignature())
+		return onDisk, n.Metrics.Size
 	}
 	e := s.engine
-	if !n.Deterministic && (e.Opts.Policy == nil || !e.Opts.Policy.Blind()) {
+	pol := s.opts.Policy
+	if !n.Deterministic && (pol == nil || !pol.Blind()) {
 		// A nondeterministic result is a single random draw: it can never
 		// serve as an equivalent materialization (Definition 3), so writing
 		// it only wastes storage and time. Cost-aware policies skip it;
@@ -803,7 +892,7 @@ func (s *runState) retire(r *nodeRun) {
 		if !s.outputs[n] {
 			s.evict(r)
 		}
-		return
+		return false, 0
 	}
 	key := n.ChainSignature()
 	if e.Store.Has(key) {
@@ -812,7 +901,7 @@ func (s *runState) retire(r *nodeRun) {
 		if !s.outputs[n] {
 			s.evict(r)
 		}
-		return
+		return true, n.Metrics.Size
 	}
 
 	mandatory := r.np.MandatoryMat
@@ -831,18 +920,18 @@ func (s *runState) retire(r *nodeRun) {
 			cum += math.Float64frombits(s.times[j].Load())
 		})
 	}
-	if e.Opts.SyncMaterialization {
-		s.retireSync(r, key, mandatory, cum)
-	} else {
-		s.retireAsync(r, key, mandatory, cum)
+	if s.opts.SyncMaterialization {
+		return s.retireSync(r, key, mandatory, cum)
 	}
+	return s.retireAsync(r, key, mandatory, cum)
 }
 
 // retireSync is the historical inline path: serialize and write on the
 // retiring goroutine, charging the full cost to the critical path.
-func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float64) {
+func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float64) (materialized bool, bytes int64) {
 	e := s.engine
 	n := r.node
+	pol := s.opts.Policy
 	var decided, encoded bool
 	var data []byte
 	size := int64(-1)
@@ -857,20 +946,20 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 			var err error
 			data, err = store.Encode(r.value)
 			if err != nil {
-				return // unserializable values are simply not materialized
+				return false, 0 // unserializable values are simply not materialized
 			}
 			r.matSecs += time.Since(encStart).Seconds()
 			encoded = true
 			size = int64(len(data))
 		}
 		load := e.Store.EstimateLoad(size).Seconds()
-		decided = e.Opts.Policy != nil && e.Opts.Policy.Decide(n, cum, load, size)
+		decided = pol != nil && pol.Decide(n, cum, load, size)
 	}
 	if !mandatory && !decided {
 		if !s.outputs[n] {
 			s.evict(r) // outputs keep their value for Result
 		}
-		return
+		return false, 0
 	}
 
 	matStart := time.Now()
@@ -878,13 +967,13 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 		var err error
 		data, err = store.Encode(r.value)
 		if err != nil {
-			return
+			return false, 0
 		}
 	}
 	ent, err := e.Store.PutBytes(key, n.Name, data, s.iteration)
 	r.matSecs += time.Since(matStart).Seconds()
 	if err != nil {
-		return // a failed write degrades to no materialization
+		return false, 0 // a failed write degrades to no materialization
 	}
 	r.bytes = ent.Size
 	n.Metrics.Size = ent.Size
@@ -892,6 +981,7 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 	if !s.outputs[n] {
 		s.evict(r)
 	}
+	return true, ent.Size
 }
 
 // retireAsync is the write-behind path: hand the value to the store's
@@ -901,10 +991,13 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 // skipping the enqueue entirely on a "no" — while the rest defer the
 // decision to the writer goroutine, which learns the size by encoding
 // there. The OnDone callback's writes to the nodeRun and node metrics are
-// published to Run by the store.Flush barrier.
-func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float64) {
+// published to Run by the store.Flush barrier. The enqueued write is
+// still in flight when the node retires, so this path always reports
+// unmaterialized; Result.Nodes carries the settled outcome after Flush.
+func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float64) (materialized bool, bytes int64) {
 	e := s.engine
 	n := r.node
+	pol := s.opts.Policy
 	isOutput := s.outputs[n]
 	req := store.WriteRequest{
 		Key:       key,
@@ -916,16 +1009,16 @@ func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float
 		if sz, ok := r.value.(Sizer); ok {
 			size := sz.ApproxBytes()
 			load := e.Store.EstimateLoad(size).Seconds()
-			if e.Opts.Policy == nil || !e.Opts.Policy.Decide(n, cum, load, size) {
+			if pol == nil || !pol.Decide(n, cum, load, size) {
 				if !isOutput {
 					s.evict(r)
 				}
-				return
+				return false, 0
 			}
 		} else {
 			req.Decide = func(size int64) bool {
 				load := e.Store.EstimateLoad(size).Seconds()
-				return e.Opts.Policy != nil && e.Opts.Policy.Decide(n, cum, load, size)
+				return pol != nil && pol.Decide(n, cum, load, size)
 			}
 		}
 	}
@@ -944,6 +1037,7 @@ func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float
 		// only reference needed for the pending write.
 		s.evict(r)
 	}
+	return false, 0
 }
 
 // recompute computes a node's value on demand, recursively ensuring parent

@@ -1,0 +1,21 @@
+package exec
+
+import "fmt"
+
+// NodeError reports the failure of one operator during an iteration. It
+// wraps the operator's own error, so callers can both identify the
+// failing node (errors.As → Op) and classify the cause (errors.Is on the
+// wrapped error, e.g. context.Canceled).
+type NodeError struct {
+	// Op is the failing operator's declared name.
+	Op string
+	// Err is the underlying failure: the operator function's error, a
+	// failed input, or the run context's cancellation error.
+	Err error
+}
+
+// Error implements error.
+func (e *NodeError) Error() string { return fmt.Sprintf("exec: node %q: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *NodeError) Unwrap() error { return e.Err }

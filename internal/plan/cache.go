@@ -81,12 +81,17 @@ type Cache struct {
 const cacheCapacity = 4
 
 // cacheEntry is the retained previous plan plus the raw fingerprint
-// inputs needed to localize a mismatch.
+// inputs needed to localize a mismatch. token records the configuration
+// the plan was built under (the Planner's per-call ConfigToken, falling
+// back to the Cache's); partial reuse requires an exact token match so a
+// run-scoped configuration override can never inherit another
+// configuration's decisions.
 type cacheEntry struct {
 	fp      Fingerprint
 	keys    []nodeKey
 	parents []int32
 	opts    Options
+	token   string
 	plan    *Plan
 }
 
@@ -173,7 +178,7 @@ func (c *Cache) hit(fp Fingerprint, in *planInputs) *Plan {
 // remain exactly optimal. Any change to the live set itself marks every
 // live node dirty (a conservative full re-solve on the reused bitsets),
 // because component boundaries may have moved.
-func (c *Cache) partial(in *planInputs, opts Options, keys []nodeKey, parents []int32) ([]*NodePlan, []uint64, int) {
+func (c *Cache) partial(in *planInputs, opts Options, token string, keys []nodeKey, parents []int32) ([]*NodePlan, []uint64, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Most recently used topology/configuration match wins: for the
@@ -181,7 +186,7 @@ func (c *Cache) partial(in *planInputs, opts Options, keys []nodeKey, parents []
 	// the same workflow.
 	var e *cacheEntry
 	for _, ent := range c.entries {
-		if ent.opts == opts && len(ent.keys) == len(keys) && slices.Equal(ent.parents, parents) {
+		if ent.opts == opts && ent.token == token && len(ent.keys) == len(keys) && slices.Equal(ent.parents, parents) {
 			e = ent
 			break
 		}
@@ -254,10 +259,10 @@ func (c *Cache) partial(in *planInputs, opts Options, keys []nodeKey, parents []
 // store records the freshly assembled plan as the most recent cache
 // entry, ages out the oldest beyond capacity, and tallies the outcome
 // that produced it.
-func (c *Cache) store(fp Fingerprint, keys []nodeKey, parents []int32, opts Options, p *Plan) {
+func (c *Cache) store(fp Fingerprint, keys []nodeKey, parents []int32, opts Options, token string, p *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := &cacheEntry{fp: fp, keys: keys, parents: parents, opts: opts, plan: p}
+	e := &cacheEntry{fp: fp, keys: keys, parents: parents, opts: opts, token: token, plan: p}
 	c.entries = append(c.entries, nil)
 	copy(c.entries[1:], c.entries)
 	c.entries[0] = e

@@ -237,6 +237,13 @@ type Planner struct {
 	// network and buffers are reused across iterations. Nil uses a
 	// throwaway solver per call.
 	Solver *opt.Solver
+	// ConfigToken describes the engine-level configuration (policy,
+	// budget, parallelism, …) this particular Plan call runs under. It is
+	// hashed into the fingerprint and recorded on the cache entry, so two
+	// calls under differing configurations can never reuse each other's
+	// decisions — the license run-scoped configuration overrides need.
+	// Empty falls back to the Cache's session-wide ConfigToken.
+	ConfigToken string
 }
 
 // planInputs carries the derived planning inputs between pipeline stages.
@@ -294,13 +301,17 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 		anc     []uint64
 		words   int
 		outcome = CacheCold
+		token   = pl.ConfigToken
 	)
 	if pl.Cache != nil {
-		keys, parents, fp = fingerprintInputs(in, pl.Opts, pl.Cache.ConfigToken)
+		if token == "" {
+			token = pl.Cache.ConfigToken
+		}
+		keys, parents, fp = fingerprintInputs(in, pl.Opts, token)
 		if p := pl.Cache.hit(fp, in); p != nil {
 			return p, nil
 		}
-		reused, anc, words = pl.Cache.partial(in, pl.Opts, keys, parents)
+		reused, anc, words = pl.Cache.partial(in, pl.Opts, token, keys, parents)
 		if reused != nil {
 			outcome = CachePartial
 		}
@@ -335,7 +346,7 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 	// cumulative times, all in topological order.
 	p := pl.assemble(in, states, anc, words, reused, outcome, fp)
 	if pl.Cache != nil {
-		pl.Cache.store(fp, keys, parents, pl.Opts, p)
+		pl.Cache.store(fp, keys, parents, pl.Opts, token, p)
 	}
 	return p, nil
 }

@@ -27,8 +27,9 @@ import (
 type System struct {
 	// Name is the display name used in benchmark output.
 	Name string
-	// Options configures the session to model the system.
-	Options helix.Options
+	// Options are the functional options that configure a session to
+	// model the system; RunSeries appends its own overrides after them.
+	Options []helix.Option
 	// DPROnly restricts the system to DPR iterations: DeepDive supports
 	// only DPR changes (paper §6.5.1), so its series stops at the first
 	// non-DPR iteration.
@@ -52,23 +53,30 @@ const PaperDiskBytesPerSec = 170e6
 // pipeline — this reproduction's own improvement — is benchmarked
 // separately (internal/bench.WriteBehind) or forced via Config.Mat.
 var (
-	HelixOpt = System{Name: "helix-opt", Options: helix.Options{
-		Policy: helix.PolicyOpt, DiskBytesPerSec: PaperDiskBytesPerSec,
-		SyncMaterialization: true}}
-	HelixAM = System{Name: "helix-am", Options: helix.Options{
-		Policy: helix.PolicyAlways, DiskBytesPerSec: PaperDiskBytesPerSec,
-		SyncMaterialization: true}}
-	HelixNM = System{Name: "helix-nm", Options: helix.Options{
-		Policy: helix.PolicyNever, DiskBytesPerSec: PaperDiskBytesPerSec,
-		SyncMaterialization: true}}
+	HelixOpt = System{Name: "helix-opt", Options: []helix.Option{
+		helix.WithPolicy(helix.PolicyOpt),
+		helix.WithDiskThroughput(PaperDiskBytesPerSec),
+		helix.WithSyncMaterialization(true)}}
+	HelixAM = System{Name: "helix-am", Options: []helix.Option{
+		helix.WithPolicy(helix.PolicyAlways),
+		helix.WithDiskThroughput(PaperDiskBytesPerSec),
+		helix.WithSyncMaterialization(true)}}
+	HelixNM = System{Name: "helix-nm", Options: []helix.Option{
+		helix.WithPolicy(helix.PolicyNever),
+		helix.WithDiskThroughput(PaperDiskBytesPerSec),
+		helix.WithSyncMaterialization(true)}}
 	// KeystoneML's L/I runs ~2× long: its caching optimizer fails to
 	// cache the training data for learning (paper §6.5.2).
-	KeystoneML = System{Name: "keystoneml", Options: helix.Options{
-		Policy: helix.PolicyNever, DisableReuse: true, LISlowdown: 2.0,
-		DiskBytesPerSec: PaperDiskBytesPerSec, SyncMaterialization: true}}
-	DeepDive = System{Name: "deepdive", Options: helix.Options{
-		Policy: helix.PolicyAlways, DisableReuse: true, DPRSlowdown: 2.0,
-		DiskBytesPerSec: PaperDiskBytesPerSec, SyncMaterialization: true},
+	KeystoneML = System{Name: "keystoneml", Options: []helix.Option{
+		helix.WithPolicy(helix.PolicyNever), helix.WithReuse(false),
+		helix.WithLISlowdown(2.0),
+		helix.WithDiskThroughput(PaperDiskBytesPerSec),
+		helix.WithSyncMaterialization(true)}}
+	DeepDive = System{Name: "deepdive", Options: []helix.Option{
+		helix.WithPolicy(helix.PolicyAlways), helix.WithReuse(false),
+		helix.WithDPRSlowdown(2.0),
+		helix.WithDiskThroughput(PaperDiskBytesPerSec),
+		helix.WithSyncMaterialization(true)},
 		DPROnly: true}
 )
 
@@ -216,9 +224,35 @@ func NewWorkload(name string, scale workloads.Scale, seed int64) (workloads.Work
 	}
 }
 
+// runTally collects one iteration's structured run events. The observer
+// is invoked serially by the engine, and the plan/flush/done events are
+// emitted on the Run caller's goroutine, so reading the tally after Run
+// returns needs no extra synchronization.
+type runTally struct {
+	plan  *helix.PlanEvent
+	flush *helix.FlushEvent
+	done  *helix.DoneEvent
+}
+
+func (t *runTally) observe(ev helix.RunEvent) {
+	switch e := ev.(type) {
+	case helix.PlanEvent:
+		t.plan = &e
+	case helix.FlushEvent:
+		t.flush = &e
+	case helix.DoneEvent:
+		t.done = &e
+	}
+}
+
+func (t *runTally) reset() { *t = runTally{} }
+
 // RunSeries drives wl through its iteration sequence under the given
 // system, returning per-iteration metrics. Iteration 0 runs the initial
 // workflow; iteration t ≥ 1 first applies the sequence's mutation for t.
+// Planning metrics (projection, planning time, cache outcome, state mix,
+// flush wait) come from the session's structured event stream rather
+// than post-hoc Result scraping.
 func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Config) (*SeriesResult, error) {
 	dir := cfg.Dir
 	if dir == "" {
@@ -229,23 +263,26 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 		}
 		defer os.RemoveAll(dir)
 	}
-	opts := sys.Options
-	opts.SampleMemory = cfg.SampleMemory
+	var tally runTally
+	opts := append([]helix.Option(nil), sys.Options...)
+	opts = append(opts, helix.WithMemorySampling(cfg.SampleMemory))
 	switch cfg.Mat {
 	case MatSync:
-		opts.SyncMaterialization = true
+		opts = append(opts, helix.WithSyncMaterialization(true))
 	case MatAsync:
-		opts.SyncMaterialization = false
+		opts = append(opts, helix.WithSyncMaterialization(false))
 	}
 	if cfg.StorageBudget > 0 {
-		opts.StorageBudget = cfg.StorageBudget
+		opts = append(opts, helix.WithStorageBudget(cfg.StorageBudget))
 	}
 	if cfg.Parallelism > 0 {
-		opts.Parallelism = cfg.Parallelism
+		opts = append(opts, helix.WithParallelism(cfg.Parallelism))
 	}
-	opts.PlanCache = cfg.PlanCache
-	opts.CriticalPath = cfg.Sched
-	sess, err := helix.NewSession(dir, opts)
+	opts = append(opts,
+		helix.WithPlanCache(cfg.PlanCache),
+		helix.WithScheduler(cfg.Sched),
+		helix.WithObserver(tally.observe))
+	sess, err := helix.Open(dir, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -264,25 +301,36 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 			}
 			wl.Mutate(t, seq[t])
 		}
+		tally.reset()
 		out, err := sess.Run(ctx, wl.Build())
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s/%s iteration %d: %w", wl.Name(), sys.Name, t, err)
 		}
 		m := IterationMetrics{
-			Iteration:        t,
-			Type:             seq[t],
-			Seconds:          out.Wall.Seconds(),
-			ProjectedSeconds: projectedSeconds(out),
-			PlanSeconds:      out.PlanTime.Seconds(),
-			PlanCache:        planOutcome(out),
-			Breakdown:        make(map[core.Component]float64, 3),
-			MatSeconds:       out.MatTime.Seconds(),
-			FlushSeconds:     out.FlushWait.Seconds(),
-			StorageBytes:     out.StorageBytes,
-			PeakMemBytes:     out.PeakMemBytes,
-			AvgMemBytes:      out.AvgMemBytes,
-			States:           out.StateCounts,
-			Outputs:          out.Values,
+			Iteration:    t,
+			Type:         seq[t],
+			Seconds:      out.Wall.Seconds(),
+			Breakdown:    make(map[core.Component]float64, 3),
+			MatSeconds:   out.MatTime.Seconds(),
+			StorageBytes: out.StorageBytes,
+			PeakMemBytes: out.PeakMemBytes,
+			AvgMemBytes:  out.AvgMemBytes,
+			Outputs:      out.Values,
+		}
+		// Planning and barrier metrics come from the run's event stream —
+		// the same typed events a live progress consumer sees.
+		if p := tally.plan; p != nil {
+			m.ProjectedSeconds = p.ProjectedSeconds
+			m.PlanSeconds = p.PlanTime.Seconds()
+			m.PlanCache = p.Outcome.String()
+			m.States = map[core.State]int{
+				core.StateCompute: p.Compute,
+				core.StateLoad:    p.Load,
+				core.StatePrune:   p.Prune,
+			}
+		}
+		if f := tally.flush; f != nil {
+			m.FlushSeconds = f.Wait.Seconds()
 		}
 		for comp, d := range out.Breakdown {
 			m.Breakdown[comp] = d.Seconds()
@@ -290,22 +338,4 @@ func RunSeries(ctx context.Context, wl workloads.Workload, sys System, cfg Confi
 		res.Metrics = append(res.Metrics, m)
 	}
 	return res, nil
-}
-
-// projectedSeconds extracts the executed plan's Equation-1 projection
-// from a run result; the harness consumes the very plan the engine ran,
-// so figure series and plan diagnostics can never drift apart.
-func projectedSeconds(res *helix.Result) float64 {
-	if res.Plan == nil {
-		return 0
-	}
-	return res.Plan.ProjectedSeconds
-}
-
-// planOutcome extracts the executed plan's cache outcome label.
-func planOutcome(res *helix.Result) string {
-	if res.Plan == nil {
-		return ""
-	}
-	return res.Plan.Cache.String()
 }

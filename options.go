@@ -1,0 +1,237 @@
+package helix
+
+import (
+	"fmt"
+)
+
+// Option configures a Session. Options apply at two scopes:
+//
+//   - Session scope: pass to Open. The resulting configuration is the
+//     session's baseline for every subsequent iteration.
+//   - Run scope: pass to Session.Run or Session.Plan. The option
+//     overrides the baseline for that one call only — the next call
+//     without options is back on the baseline.
+//
+// Run-scoped overrides are safe with the plan cache: every knob that can
+// change planning or execution decisions is folded into the plan
+// fingerprint's configuration token, so a plan built under one
+// configuration is never reused under another, and reverting an override
+// restores full-fingerprint hits against the earlier configuration's
+// cached plan.
+//
+// A few options configure the store or the plan cache itself, which
+// exist once per session; those are marked session-scoped in their
+// documentation, and passing one to Run or Plan returns an error
+// satisfying errors.Is(err, ErrSessionOption).
+type Option struct {
+	name        string
+	sessionOnly bool
+	apply       func(*config)
+}
+
+// config is a Session's resolved configuration: the legacy Options knob
+// set plus the option-only additions. A Session keeps its baseline
+// config; Run/Plan copy it and apply run-scoped overrides.
+type config struct {
+	o         Options
+	ioWorkers int
+	observer  RunObserver
+	// err records the first invalid option value; checked after apply.
+	err error
+}
+
+// apply folds opts into the config. runScope rejects session-only
+// options; any invalid option value surfaces as the returned error.
+func (c *config) apply(opts []Option, runScope bool) error {
+	for _, op := range opts {
+		if op.apply == nil {
+			continue
+		}
+		if runScope && op.sessionOnly {
+			return tagged(ErrSessionOption, fmt.Errorf("helix: %s is session-scoped, pass it to Open", op.name))
+		}
+		op.apply(c)
+	}
+	return c.err
+}
+
+// budget resolves the effective storage budget (the paper's 10 GB
+// default, §6.3).
+func (c *config) budget() int64 {
+	if c.o.StorageBudget > 0 {
+		return c.o.StorageBudget
+	}
+	return DefaultStorageBudget
+}
+
+// policyKey identifies the materialization-policy configuration. The
+// session memoizes one policy instance per key, so a run-scoped override
+// that reverts to an earlier configuration resumes that configuration's
+// policy state (e.g. OMP's consumed budget) instead of resetting it.
+func (c *config) policyKey() string {
+	return fmt.Sprintf("policy=%d budget=%d threshold=%g domain=%q",
+		c.o.Policy, c.budget(), c.o.OMPThreshold, c.o.Domain)
+}
+
+// configToken is the plan-cache conditioning token: every engine-level
+// setting plan reuse must be conditioned on. Two runs whose tokens
+// differ fingerprint differently and can never reuse each other's plans.
+// (Planner-level knobs — reuse, pruning, output materialization — are
+// fingerprinted separately as plan.Options.)
+func (c *config) configToken() string {
+	return fmt.Sprintf("policy=%d budget=%d threshold=%g domain=%q parallelism=%d",
+		c.o.Policy, c.budget(), c.o.OMPThreshold, c.o.Domain, c.o.Parallelism)
+}
+
+// WorkerClass names one of the execution scheduler's worker pools, for
+// WithWorkerClass.
+type WorkerClass string
+
+const (
+	// WorkerCompute is the compute pool: at most this many operators
+	// compute concurrently (the Options.Parallelism knob).
+	WorkerCompute WorkerClass = "compute"
+	// WorkerIO is the I/O pool draining Load-state nodes; loads are
+	// disk/throttle-bound, so the pool is sized independently of compute
+	// (default max(compute parallelism, 4), capped by the plan's load
+	// count).
+	WorkerIO WorkerClass = "io"
+)
+
+// WithPolicy selects the materialization strategy (the paper's system
+// variants, §6.1). Run-scoped overrides A/B policies within one session;
+// each distinct policy configuration keeps its own policy instance, so
+// budget accounting survives switching away and back.
+func WithPolicy(p Policy) Option {
+	return Option{name: "WithPolicy", apply: func(c *config) { c.o.Policy = p }}
+}
+
+// WithStorageBudget caps materialized bytes for the budgeted policies;
+// ≤0 restores the paper's 10 GB default (§6.3).
+func WithStorageBudget(bytes int64) Option {
+	return Option{name: "WithStorageBudget", apply: func(c *config) { c.o.StorageBudget = bytes }}
+}
+
+// WithOMPThreshold overrides Algorithm 2's load-cost multiplier; 0
+// restores the paper's value of 2.
+func WithOMPThreshold(t float64) Option {
+	return Option{name: "WithOMPThreshold", apply: func(c *config) { c.o.OMPThreshold = t }}
+}
+
+// WithDomain selects the change-probability distribution for
+// PolicyOptAmortized ("census", "nlp", "genomics", "mnist").
+func WithDomain(domain string) Option {
+	return Option{name: "WithDomain", apply: func(c *config) { c.o.Domain = domain }}
+}
+
+// WithReuse toggles cross-iteration reuse of materialized results;
+// disabling models the KeystoneML/DeepDive baselines, which never reuse
+// automatically. Default on.
+func WithReuse(enabled bool) Option {
+	return Option{name: "WithReuse", apply: func(c *config) { c.o.DisableReuse = !enabled }}
+}
+
+// WithPruning toggles program slicing (§5.4); disabling is the ablation
+// baseline. Default on.
+func WithPruning(enabled bool) Option {
+	return Option{name: "WithPruning", apply: func(c *config) { c.o.DisablePruning = !enabled }}
+}
+
+// WithMemorySampling toggles heap sampling for Figure 10; costs a
+// background goroutine while a run is in flight. Default off.
+func WithMemorySampling(enabled bool) Option {
+	return Option{name: "WithMemorySampling", apply: func(c *config) { c.o.SampleMemory = enabled }}
+}
+
+// WithDPRSlowdown multiplies DPR operator cost (models DeepDive's
+// Python/shell preprocessing, §6.5.2). 0 or 1 disables.
+func WithDPRSlowdown(factor float64) Option {
+	return Option{name: "WithDPRSlowdown", apply: func(c *config) { c.o.DPRSlowdown = factor }}
+}
+
+// WithLISlowdown multiplies L/I operator cost (models KeystoneML's
+// training-data caching miss, §6.5.2). 0 or 1 disables.
+func WithLISlowdown(factor float64) Option {
+	return Option{name: "WithLISlowdown", apply: func(c *config) { c.o.LISlowdown = factor }}
+}
+
+// WithSyncMaterialization, when enabled, serializes and writes
+// materializations inline on the worker goroutine that computed them —
+// the paper-faithful accounting — instead of the default write-behind
+// pipeline.
+func WithSyncMaterialization(enabled bool) Option {
+	return Option{name: "WithSyncMaterialization", apply: func(c *config) { c.o.SyncMaterialization = enabled }}
+}
+
+// WithParallelism bounds the compute worker pool: at most n operators
+// compute concurrently regardless of DAG width; ≤0 uses
+// runtime.GOMAXPROCS(0). Equivalent to WithWorkerClass(WorkerCompute, n).
+func WithParallelism(n int) Option {
+	return Option{name: "WithParallelism", apply: func(c *config) { c.o.Parallelism = n }}
+}
+
+// WithWorkerClass sizes one of the execution scheduler's worker pools:
+// WorkerCompute bounds concurrent operator computation, WorkerIO sizes
+// the Load-state pool (≤0 restores its max(parallelism, 4) heuristic).
+// Unknown classes are rejected when the options are applied.
+func WithWorkerClass(class WorkerClass, size int) Option {
+	return Option{name: "WithWorkerClass", apply: func(c *config) {
+		switch class {
+		case WorkerCompute:
+			c.o.Parallelism = size
+		case WorkerIO:
+			c.ioWorkers = size
+		default:
+			if c.err == nil {
+				c.err = fmt.Errorf("helix: unknown worker class %q (want %q or %q)", class, WorkerCompute, WorkerIO)
+			}
+		}
+	}}
+}
+
+// WithScheduler selects the ready-queue ordering: SchedCriticalPath
+// (default) starts the node with the longest projected downstream chain
+// first; SchedFIFO forces pure arrival order.
+func WithScheduler(mode SchedMode) Option {
+	return Option{name: "WithScheduler", apply: func(c *config) { c.o.CriticalPath = mode }}
+}
+
+// WithObserver installs a RunObserver receiving the run's structured
+// events. At session scope every Run reports to it; a run-scoped
+// WithObserver replaces it for that call (WithObserver(nil) silences one
+// run).
+func WithObserver(obs RunObserver) Option {
+	return Option{name: "WithObserver", apply: func(c *config) { c.observer = obs }}
+}
+
+// WithDiskThroughput simulates a disk with the given byte/s throughput
+// for loads and writes; 0 uses real disk speed. The paper's environment
+// is 170 MB/s (§6.3). Session-scoped: the store is configured once.
+func WithDiskThroughput(bytesPerSec float64) Option {
+	return Option{name: "WithDiskThroughput", sessionOnly: true,
+		apply: func(c *config) { c.o.DiskBytesPerSec = bytesPerSec }}
+}
+
+// WithMatWriters sizes the store's background writer pool for
+// write-behind materialization; ≤0 uses the store default.
+// Session-scoped: the pool belongs to the store.
+func WithMatWriters(n int) Option {
+	return Option{name: "WithMatWriters", sessionOnly: true,
+		apply: func(c *config) { c.o.MatWriters = n }}
+}
+
+// WithPlanCache toggles the iteration-over-iteration plan cache.
+// Session-scoped: the cache holds cross-iteration state.
+func WithPlanCache(mode PlanCacheMode) Option {
+	return Option{name: "WithPlanCache", sessionOnly: true,
+		apply: func(c *config) { c.o.PlanCache = mode }}
+}
+
+// WithOptions applies a legacy Options struct wholesale — the bridge the
+// deprecated NewSession shim is built on, and a one-line migration step
+// for existing call sites. Later options override its fields.
+// Session-scoped because the struct carries store-level settings.
+func WithOptions(o Options) Option {
+	return Option{name: "WithOptions", sessionOnly: true,
+		apply: func(c *config) { c.o = o }}
+}

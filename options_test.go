@@ -1,0 +1,271 @@
+package helix_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"helix"
+	"helix/internal/core"
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+func init() {
+	// Idempotent with the package-helix test init: identical
+	// type-and-name registrations are no-ops.
+	helix.RegisterType("")
+	helix.RegisterType(0)
+	helix.RegisterType(0.0)
+	helix.RegisterType([]string(nil))
+}
+
+// optWorkflow builds the session-test pipeline (sleepy DPR→L/I→PPR) for
+// the external test package; calls counts operator executions.
+func optWorkflow(calls *atomic.Int64, learnerParams string) *helix.Workflow {
+	wf := helix.New("opt-test")
+	delay := 10 * time.Millisecond
+	src := wf.Source("data", "v1", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		calls.Add(1)
+		time.Sleep(delay)
+		return []string{"a", "b", "c"}, nil
+	})
+	rows := wf.Scanner("rows", "csv", func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		calls.Add(1)
+		time.Sleep(delay)
+		return len(in[0].([]string)), nil
+	}, src)
+	model := wf.Learner("model", learnerParams, func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+		calls.Add(1)
+		time.Sleep(delay)
+		return in[0].(int) * 100, nil
+	}, rows)
+	wf.Reducer("checked", "acc", func(ctx context.Context, in []helix.Value) (Value, error) {
+		calls.Add(1)
+		time.Sleep(delay)
+		return float64(in[0].(int)), nil
+	}, model).IsOutput()
+	return wf
+}
+
+// Value aliases helix.Value for brevity in this file's operator bodies.
+type Value = helix.Value
+
+// TestRunScopedOverridesForceResolveAndRevertHits is the acceptance
+// scenario: one session runs iteration N under the baseline PolicyOpt,
+// iteration N+1 under run-scoped WithPolicy(PolicyAlways) plus a
+// parallelism override — without reopening — and the plan-cache stats
+// must show the configuration change forced a re-solve; reverting the
+// override must restore a full fingerprint hit against the baseline
+// configuration's cached plan.
+func TestRunScopedOverridesForceResolveAndRevertHits(t *testing.T) {
+	workloads.RegisterAll()
+	wl, err := sim.NewWorkload("census", workloads.Scale{Rows: 1, CostFactor: 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+
+	// Iterations 0–2 under the baseline: 0 materializes, 1 settles the
+	// store, 2 is the steady-state full hit.
+	var res *helix.Result
+	for i := 0; i < 3; i++ {
+		if res, err = sess.Run(ctx, wl.Build()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Plan.Cache != helix.PlanCacheHit {
+		t.Fatalf("steady-state baseline outcome %v, want hit", res.Plan.Cache)
+	}
+	baselineValues := res.Values
+	before := sess.PlanCacheStats()
+
+	// Iteration 3: run-scoped policy + parallelism override. The config
+	// token differs, so neither a full nor a partial reuse of the
+	// baseline's plan is permitted — the cache must record a miss.
+	over, err := sess.Run(ctx, wl.Build(),
+		helix.WithPolicy(helix.PolicyAlways), helix.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Plan.Cache != helix.PlanCacheCold {
+		t.Fatalf("override run outcome %v, want cold (config change must force a re-solve)", over.Plan.Cache)
+	}
+	mid := sess.PlanCacheStats()
+	if mid.Misses != before.Misses+1 {
+		t.Fatalf("override run: misses %d → %d, want +1 (stats %+v)", before.Misses, mid.Misses, mid)
+	}
+	if mid.Hits != before.Hits {
+		t.Fatalf("override run produced a cache hit across configurations: %+v", mid)
+	}
+
+	// Iteration 4: the override is gone, so the baseline configuration's
+	// cached plan applies again — a full fingerprint hit.
+	rev, err := sess.Run(ctx, wl.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Plan.Cache != helix.PlanCacheHit {
+		t.Fatalf("reverted run outcome %v, want full hit", rev.Plan.Cache)
+	}
+	if after := sess.PlanCacheStats(); after.Hits != mid.Hits+1 {
+		t.Fatalf("reverted run: hits %d → %d, want +1 (stats %+v)", mid.Hits, after.Hits, after)
+	}
+	// Overrides must not change results (Theorem 1 across configurations).
+	for name, want := range baselineValues {
+		if rev.Values[name] == nil {
+			t.Fatalf("output %s missing after override round-trip (want %v)", name, want)
+		}
+	}
+}
+
+// TestRunScopedOverrideChangesMaterialization: a run-scoped
+// WithPolicy(PolicyNever) must govern the run's materialization
+// decisions, not only its plan — nothing may be written under it.
+func TestRunScopedOverrideChangesMaterialization(t *testing.T) {
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var c atomic.Int64
+	res, err := sess.Run(context.Background(), optWorkflow(&c, "LR reg=0.1"),
+		helix.WithPolicy(helix.PolicyNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["checked"] != 300.0 {
+		t.Fatalf("output = %v", res.Values["checked"])
+	}
+	if sess.StorageBytes() != 0 {
+		t.Fatalf("run under PolicyNever override stored %d bytes", sess.StorageBytes())
+	}
+}
+
+// TestSessionScopedOptionRejectedAtRunScope: options that configure the
+// store or the plan cache are session-scoped; Run and Plan must reject
+// them with ErrSessionOption instead of silently ignoring them.
+func TestSessionScopedOptionRejectedAtRunScope(t *testing.T) {
+	sess, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var c atomic.Int64
+	wf := optWorkflow(&c, "LR reg=0.1")
+	for _, opt := range []helix.Option{
+		helix.WithPlanCache(helix.PlanCacheOff),
+		helix.WithMatWriters(2),
+		helix.WithDiskThroughput(1e6),
+		helix.WithOptions(helix.Options{}),
+	} {
+		if _, err := sess.Run(context.Background(), wf, opt); !errors.Is(err, helix.ErrSessionOption) {
+			t.Fatalf("Run with session-scoped option: err = %v, want ErrSessionOption", err)
+		}
+		if _, err := sess.Plan(wf, opt); !errors.Is(err, helix.ErrSessionOption) {
+			t.Fatalf("Plan with session-scoped option: err = %v, want ErrSessionOption", err)
+		}
+	}
+	if c.Load() != 0 {
+		t.Fatal("rejected run executed operators")
+	}
+	if sess.Iteration() != 0 {
+		t.Fatal("rejected run advanced the iteration counter")
+	}
+}
+
+// TestWithWorkerClass: compute resizes the compute pool, io the load
+// pool, anything else is rejected at option-application time with a
+// message naming the class.
+func TestWithWorkerClass(t *testing.T) {
+	if _, err := helix.Open(t.TempDir(), helix.WithWorkerClass("gpu", 2)); err == nil ||
+		!strings.Contains(err.Error(), "gpu") {
+		t.Fatalf("unknown worker class: err = %v", err)
+	}
+	sess, err := helix.Open(t.TempDir(),
+		helix.WithWorkerClass(helix.WorkerCompute, 2),
+		helix.WithWorkerClass(helix.WorkerIO, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	var c atomic.Int64
+	if _, err := sess.Run(context.Background(), optWorkflow(&c, "LR reg=0.1")); err != nil {
+		t.Fatal(err)
+	}
+	var c2 atomic.Int64
+	if _, err := sess.Run(context.Background(), optWorkflow(&c2, "LR reg=0.1"),
+		helix.WithWorkerClass("tpu", 1)); err == nil || !strings.Contains(err.Error(), "tpu") {
+		t.Fatalf("unknown run-scoped worker class: err = %v", err)
+	}
+}
+
+// TestOptionsShimEquivalence: the deprecated Options-struct constructor
+// must behave identically to the functional-option path — including
+// resuming a session fixture the new path created.
+func TestOptionsShimEquivalence(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Build the fixture with the new path.
+	s1, err := helix.Open(dir,
+		helix.WithPolicy(helix.PolicyAlways), helix.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1 atomic.Int64
+	res1, err := s1.Run(ctx, optWorkflow(&c1, "LR reg=0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the same directory through the shim with the equivalent
+	// struct: change tracking must resume (zero recomputation) and the
+	// outputs must match.
+	s2, err := helix.NewSession(dir, helix.Options{Policy: helix.PolicyAlways, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var c2 atomic.Int64
+	res2, err := s2.Run(ctx, optWorkflow(&c2, "LR reg=0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Load() != 0 {
+		t.Fatalf("shim session recomputed %d operators on the fixture", c2.Load())
+	}
+	if res2.Values["checked"] != res1.Values["checked"] {
+		t.Fatalf("shim output %v != new-path output %v", res2.Values["checked"], res1.Values["checked"])
+	}
+	if res2.StateCounts[core.StateCompute] != 0 {
+		t.Fatalf("shim session computed %d nodes, want full reuse", res2.StateCounts[core.StateCompute])
+	}
+
+	// And a fresh shim session behaves like a fresh new-path session on
+	// the same configuration (same outputs, same storage decision).
+	s3, err := helix.NewSession(t.TempDir(), helix.Options{Policy: helix.PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	var c3 atomic.Int64
+	res3, err := s3.Run(ctx, optWorkflow(&c3, "LR reg=0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Values["checked"] != 300.0 || s3.StorageBytes() != 0 {
+		t.Fatalf("shim PolicyNever: output %v storage %d", res3.Values["checked"], s3.StorageBytes())
+	}
+}

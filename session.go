@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"helix/internal/core"
@@ -47,7 +49,14 @@ const (
 	PolicyOptAmortized
 )
 
-// Options configures a Session.
+// Options is the original monolithic configuration struct, kept as a
+// compatibility shim: NewSession(dir, Options{...}) behaves exactly like
+// Open(dir, WithOptions(Options{...})), and every field has a functional
+// option counterpart (see the Option constructors and the README's
+// migration table).
+//
+// Deprecated: configure sessions with Open and functional options, which
+// additionally support run-scoped overrides on Run and Plan.
 type Options struct {
 	// Policy selects the materialization strategy. Default PolicyOpt.
 	Policy Policy
@@ -135,16 +144,39 @@ const DefaultStorageBudget = 10 << 30
 // Session executes successive iterations of a workflow, carrying the
 // previous iteration's DAG and materialization store across runs — the
 // workflow lifecycle of Figure 2. Sessions persist their change-tracking
-// state (node signatures and operator statistics) next to the store, so
-// reopening a session on the same directory resumes reuse across process
-// restarts.
+// state (node signatures, operator statistics, and iteration history)
+// next to the store, so reopening a session on the same directory
+// resumes reuse across process restarts.
+//
+// A Session supports one Run at a time: a second concurrent Run returns
+// ErrConcurrentRun rather than queueing (see Run). Plan is read-only and
+// may be called concurrently with itself and with Run.
 type Session struct {
-	store   *store.Store
-	engine  *exec.Engine
-	dir     string
+	store  *store.Store
+	engine *exec.Engine
+	dir    string
+	// base is the session-scoped configuration Open resolved; Run/Plan
+	// copy it and layer run-scoped overrides on the copy.
+	base config
+
+	// polMu guards policies, the memoized materialization-policy
+	// instances keyed by config.policyKey. Memoization makes run-scoped
+	// policy overrides stateful in the useful sense: reverting to a
+	// configuration resumes its policy's budget accounting.
+	polMu    sync.Mutex
+	policies map[string]opt.MatPolicy
+
+	// running rejects concurrent Run calls (ErrConcurrentRun).
+	running atomic.Bool
+
+	// mu guards the iteration state below; critical sections are short
+	// (snapshot at Run entry, update at Run exit) so Plan and History can
+	// read consistently while a Run is in flight.
+	mu      sync.Mutex
 	prev    *core.DAG
 	iter    int
 	history []IterationRecord
+	closed  bool
 }
 
 // sessionStateFile holds the persisted snapshot within the store dir.
@@ -152,86 +184,160 @@ const sessionStateFile = "session.json"
 
 // sessionState is the on-disk session record.
 type sessionState struct {
-	Iteration int           `json:"iteration"`
-	Snapshot  core.Snapshot `json:"snapshot"`
+	Iteration int               `json:"iteration"`
+	Snapshot  core.Snapshot     `json:"snapshot"`
+	History   []IterationRecord `json:"history,omitempty"`
 }
 
-// NewSession opens a session whose materialization store lives in dir.
+// Open opens a session whose materialization store lives in dir,
+// configured by functional options:
+//
+//	sess, err := helix.Open(dir,
+//	    helix.WithPolicy(helix.PolicyOpt),
+//	    helix.WithParallelism(8),
+//	    helix.WithObserver(progress))
+//
 // If the directory holds a previous session's state, change tracking
 // resumes from it: unchanged operators can reuse results materialized
-// before the restart.
-func NewSession(dir string, options ...Options) (*Session, error) {
-	var o Options
-	if len(options) > 1 {
-		return nil, fmt.Errorf("helix: at most one Options value")
+// before the restart. The options form the session's baseline
+// configuration; Run and Plan accept the same (run-scoped) options as
+// per-call overrides.
+func Open(dir string, opts ...Option) (*Session, error) {
+	var cfg config
+	if err := cfg.apply(opts, false); err != nil {
+		return nil, err
 	}
-	if len(options) == 1 {
-		o = options[0]
+	// Build and validate the materialization policy before anything
+	// stateful opens: the historical unknown-policy branch returned after
+	// store.Open without closing it, leaking the writer pool. Failing
+	// first means a bad configuration can never leak resources.
+	pol, err := buildPolicy(&cfg)
+	if err != nil {
+		return nil, err
 	}
 	st, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	st.DiskBytesPerSec = o.DiskBytesPerSec
-	st.Writers = o.MatWriters
-	budget := o.StorageBudget
-	if budget <= 0 {
-		budget = DefaultStorageBudget
+	st.DiskBytesPerSec = cfg.o.DiskBytesPerSec
+	st.Writers = cfg.o.MatWriters
+	s := &Session{
+		store:    st,
+		dir:      dir,
+		base:     cfg,
+		policies: map[string]opt.MatPolicy{cfg.policyKey(): pol},
 	}
-	var pol opt.MatPolicy
-	switch o.Policy {
-	case PolicyOpt:
-		somp := opt.NewStreamingOMP(budget)
-		if o.OMPThreshold > 0 {
-			somp.Threshold = o.OMPThreshold
-		}
-		pol = somp
-	case PolicyAlways:
-		pol = opt.AlwaysMat{}
-	case PolicyNever:
-		pol = opt.NeverMat{}
-	case PolicyOptMiniBatch:
-		somp := opt.NewStreamingOMP(budget)
-		if o.OMPThreshold > 0 {
-			somp.Threshold = o.OMPThreshold
-		}
-		pol = opt.NewMiniBatchOMP(somp)
-	case PolicyOptAmortized:
-		aomp := opt.NewAmortizedOMP(opt.SurveyChangeModel(o.Domain), budget)
-		if o.OMPThreshold > 0 {
-			aomp.Threshold = o.OMPThreshold
-		}
-		pol = aomp
-	default:
-		return nil, fmt.Errorf("helix: unknown policy %d", o.Policy)
-	}
-	eng := &exec.Engine{
-		Store: st,
-		Opts: exec.Options{
-			Policy:              pol,
-			DisableReuse:        o.DisableReuse,
-			MaterializeOutputs:  o.Policy != PolicyNever,
-			DPRSlowdown:         o.DPRSlowdown,
-			LISlowdown:          o.LISlowdown,
-			SampleMemory:        o.SampleMemory,
-			DisablePruning:      o.DisablePruning,
-			SyncMaterialization: o.SyncMaterialization,
-			Parallelism:         o.Parallelism,
-			Sched:               o.CriticalPath,
-		},
-	}
-	if o.PlanCache != PlanCacheOff {
-		// The config token pins every engine-level setting plan reuse must
-		// be conditioned on: a session opened with a different policy,
-		// budget, threshold, domain, or parallelism fingerprints
+	s.engine = &exec.Engine{Store: st, Opts: s.execOptions(&cfg, pol)}
+	if cfg.o.PlanCache != PlanCacheOff {
+		// The config token pins every engine-level setting plan reuse
+		// must be conditioned on: a run under a different policy, budget,
+		// threshold, domain, or parallelism — whether a differently
+		// opened session or a run-scoped override — fingerprints
 		// differently and can never reuse this configuration's decisions.
-		eng.Cache = plan.NewCache(fmt.Sprintf(
-			"policy=%d budget=%d threshold=%g domain=%q parallelism=%d",
-			o.Policy, budget, o.OMPThreshold, o.Domain, o.Parallelism))
+		s.engine.Cache = plan.NewCache(cfg.configToken())
 	}
-	s := &Session{store: st, engine: eng, dir: dir}
 	s.loadState()
 	return s, nil
+}
+
+// NewSession opens a session configured by at most one legacy Options
+// struct. It is a shim over Open: NewSession(dir, o) ≡
+// Open(dir, WithOptions(o)).
+//
+// Deprecated: use Open with functional options.
+func NewSession(dir string, options ...Options) (*Session, error) {
+	if len(options) > 1 {
+		return nil, fmt.Errorf("helix: at most one Options value")
+	}
+	if len(options) == 1 {
+		return Open(dir, WithOptions(options[0]))
+	}
+	return Open(dir)
+}
+
+// buildPolicy constructs the materialization policy a config selects, or
+// an error satisfying errors.Is(err, ErrPolicyUnknown).
+func buildPolicy(cfg *config) (opt.MatPolicy, error) {
+	budget := cfg.budget()
+	switch cfg.o.Policy {
+	case PolicyOpt:
+		somp := opt.NewStreamingOMP(budget)
+		if cfg.o.OMPThreshold > 0 {
+			somp.Threshold = cfg.o.OMPThreshold
+		}
+		return somp, nil
+	case PolicyAlways:
+		return opt.AlwaysMat{}, nil
+	case PolicyNever:
+		return opt.NeverMat{}, nil
+	case PolicyOptMiniBatch:
+		somp := opt.NewStreamingOMP(budget)
+		if cfg.o.OMPThreshold > 0 {
+			somp.Threshold = cfg.o.OMPThreshold
+		}
+		return opt.NewMiniBatchOMP(somp), nil
+	case PolicyOptAmortized:
+		aomp := opt.NewAmortizedOMP(opt.SurveyChangeModel(cfg.o.Domain), budget)
+		if cfg.o.OMPThreshold > 0 {
+			aomp.Threshold = cfg.o.OMPThreshold
+		}
+		return aomp, nil
+	default:
+		return nil, tagged(ErrPolicyUnknown, fmt.Errorf("helix: unknown policy %d", cfg.o.Policy))
+	}
+}
+
+// policyFor returns the memoized policy instance for cfg's policy
+// configuration, constructing it on first use.
+func (s *Session) policyFor(cfg *config) (opt.MatPolicy, error) {
+	key := cfg.policyKey()
+	s.polMu.Lock()
+	defer s.polMu.Unlock()
+	if pol, ok := s.policies[key]; ok {
+		return pol, nil
+	}
+	pol, err := buildPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.policies[key] = pol
+	return pol, nil
+}
+
+// execOptions lowers a resolved config (plus its policy instance) to the
+// engine-level options one Plan/Run call executes under.
+func (s *Session) execOptions(cfg *config, pol opt.MatPolicy) exec.Options {
+	return exec.Options{
+		Policy:              pol,
+		DisableReuse:        cfg.o.DisableReuse,
+		MaterializeOutputs:  cfg.o.Policy != PolicyNever,
+		DPRSlowdown:         cfg.o.DPRSlowdown,
+		LISlowdown:          cfg.o.LISlowdown,
+		SampleMemory:        cfg.o.SampleMemory,
+		DisablePruning:      cfg.o.DisablePruning,
+		SyncMaterialization: cfg.o.SyncMaterialization,
+		Parallelism:         cfg.o.Parallelism,
+		Sched:               cfg.o.CriticalPath,
+		IOWorkers:           cfg.ioWorkers,
+		ConfigToken:         cfg.configToken(),
+		Observer:            cfg.observer,
+	}
+}
+
+// runConfig resolves one Run/Plan call's effective configuration: the
+// session baseline plus run-scoped overrides, with the policy memoized
+// and every cache-relevant knob folded into the config token.
+func (s *Session) runConfig(opts []Option) (exec.Options, error) {
+	cfg := s.base
+	cfg.err = nil
+	if err := cfg.apply(opts, true); err != nil {
+		return exec.Options{}, err
+	}
+	pol, err := s.policyFor(&cfg)
+	if err != nil {
+		return exec.Options{}, err
+	}
+	return s.execOptions(&cfg, pol), nil
 }
 
 // PlanCacheStats reports the session's plan-cache consultation counters:
@@ -265,19 +371,27 @@ func (s *Session) loadState() {
 	}
 	s.iter = st.Iteration
 	s.prev = core.FromSnapshot(st.Snapshot)
+	s.history = st.History
 }
 
-// saveState persists change-tracking state for restart resumption. A
-// failed write is non-fatal: the next process simply recomputes. The
-// write is atomic — temp file then rename — so a crash mid-write can
-// never leave a truncated session.json behind; the previous snapshot (or
-// none) survives intact and loadState's corruption handling is reserved
-// for genuinely external damage.
+// saveState persists change-tracking state (and the iteration history)
+// for restart resumption. A failed write is non-fatal: the next process
+// simply recomputes. The write is atomic — temp file then rename — so a
+// crash mid-write can never leave a truncated session.json behind; the
+// previous snapshot (or none) survives intact and loadState's corruption
+// handling is reserved for genuinely external damage.
 func (s *Session) saveState() {
+	s.mu.Lock()
 	if s.prev == nil {
+		s.mu.Unlock()
 		return
 	}
-	st := sessionState{Iteration: s.iter, Snapshot: s.prev.Snapshot()}
+	st := sessionState{
+		Iteration: s.iter,
+		Snapshot:  s.prev.Snapshot(),
+		History:   append([]IterationRecord(nil), s.history...),
+	}
+	s.mu.Unlock()
 	data, err := json.Marshal(st)
 	if err != nil {
 		return
@@ -306,7 +420,11 @@ func (s *Session) saveState() {
 }
 
 // Iteration returns the index of the next iteration to run (0-based).
-func (s *Session) Iteration() int { return s.iter }
+func (s *Session) Iteration() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.iter
+}
 
 // StorageBytes reports the store's current on-disk usage (Figure 9c,d).
 func (s *Session) StorageBytes() int64 { return s.store.UsedBytes() }
@@ -314,30 +432,70 @@ func (s *Session) StorageBytes() int64 { return s.store.UsedBytes() }
 // Plan compiles wf and returns the execution plan Run would carry out for
 // it right now — per-node states, costs, originality, liveness, the
 // projected run time T(W,s) of Equation 1, and a rationale for every
-// decision — without executing anything. Planning is read-only with
+// decision — without executing anything. Run-scoped options override the
+// session baseline for this call only, so an override's plan can be
+// inspected before (or without) running it. Planning is read-only with
 // respect to the session: the iteration counter, the previous iteration's
 // DAG, and the materialization store are left untouched, so Plan may be
 // called any number of times (and interleaved with Run) purely for
 // inspection. Render the result with Plan.Explain() or Workflow.PlanDOT.
-func (s *Session) Plan(wf *Workflow) (*Plan, error) {
+func (s *Session) Plan(wf *Workflow, opts ...Option) (*Plan, error) {
+	s.mu.Lock()
+	prev, iter, closed := s.prev, s.iter, s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrSessionClosed
+	}
+	eo, err := s.runConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	prog, err := wf.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.Plan(prog.DAG, s.prev, s.iter)
+	return s.engine.PlanWith(prog.DAG, prev, iter, eo)
 }
 
 // Run compiles and executes one iteration of wf, then advances the
 // session: the executed DAG becomes the previous iteration for change
 // tracking on the next Run (paper §2.2: "The updated workflow W_{t+1}
 // fed back to HELIX marks the beginning of a new iteration").
-func (s *Session) Run(ctx context.Context, wf *Workflow) (*Result, error) {
+//
+// Run-scoped options override the session baseline for this call only —
+// policy, budget, parallelism, worker classes, scheduler, reuse/pruning
+// toggles, observer. Overrides are plan-cache safe: the effective
+// configuration is folded into the plan fingerprint, so differing
+// configurations never reuse each other's plans, and reverting an
+// override hits the earlier configuration's cached plan again.
+//
+// A Session runs one iteration at a time. A second Run while one is in
+// flight returns ErrConcurrentRun immediately — calls are rejected, not
+// serialized, because change tracking is defined against the previous
+// completed iteration and queueing would make the result order (and thus
+// every subsequent plan) depend on scheduler timing. Run after Close
+// returns ErrSessionClosed.
+func (s *Session) Run(ctx context.Context, wf *Workflow, opts ...Option) (*Result, error) {
+	if !s.running.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentRun
+	}
+	defer s.running.Store(false)
+	s.mu.Lock()
+	prev, iter, closed := s.prev, s.iter, s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrSessionClosed
+	}
+	eo, err := s.runConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	prog, err := wf.Compile()
 	if err != nil {
 		return nil, err
 	}
 	started := time.Now()
-	res, err := s.engine.Run(ctx, prog, s.prev, s.iter)
+	res, err := s.engine.RunWith(ctx, prog, prev, iter, eo)
 	if err != nil {
 		return nil, err
 	}
@@ -350,28 +508,39 @@ func (s *Session) Run(ctx context.Context, wf *Workflow) (*Result, error) {
 	// modes), it never fails the iteration — the computed outputs are
 	// already in hand.
 	_ = s.store.Flush()
-	s.recordHistory(wf, res, started, changedOperators(prog.DAG, s.prev))
+	s.mu.Lock()
+	s.recordHistory(wf, res, started, changedOperators(prog.DAG, prev))
 	s.prev = prog.DAG
 	s.iter++
+	s.mu.Unlock()
 	s.saveState()
 	return res, nil
 }
 
 // RunTimed is Run plus a convenience wall-clock duration, for harness
 // code that aggregates cumulative run time (Figure 5).
-func (s *Session) RunTimed(ctx context.Context, wf *Workflow) (*Result, time.Duration, error) {
+func (s *Session) RunTimed(ctx context.Context, wf *Workflow, opts ...Option) (*Result, time.Duration, error) {
 	start := time.Now()
-	res, err := s.Run(ctx, wf)
+	res, err := s.Run(ctx, wf, opts...)
 	return res, time.Since(start), err
 }
 
 // Close flushes any write-behind materializations still in flight, stops
 // the store's writer pool, and persists the session's change-tracking
 // state. The session and its store directory remain readable afterwards;
-// a session reopened on the same directory resumes reuse. Always call
-// Close (directly or deferred) when done with a session — otherwise
-// background writes may still be in flight when the process exits.
+// a session reopened on the same directory resumes reuse and its
+// iteration history. Always call Close (directly or deferred) when done
+// with a session — otherwise background writes may still be in flight
+// when the process exits. Close is idempotent; Run and Plan after Close
+// return ErrSessionClosed. Do not call Close while a Run is in flight.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
 	s.saveState()
 	return s.store.Close()
 }

@@ -175,8 +175,17 @@ func (w *Workflow) Reducer(name, params string, fn Func, inputs ...*Op) *Op {
 // operator signature — kind, name, and params — implements the paper's
 // representational equivalence check (§4.2): two iterations' operators
 // are equivalent iff their declarations match and their ancestors are
-// equivalent.
+// equivalent. Declaration and lowering failures (duplicate names, nil
+// functions, cycles, …) satisfy errors.Is(err, ErrBadWorkflow).
 func (w *Workflow) Compile() (*exec.Program, error) {
+	prog, err := w.compile()
+	if err != nil {
+		return nil, tagged(ErrBadWorkflow, err)
+	}
+	return prog, nil
+}
+
+func (w *Workflow) compile() (*exec.Program, error) {
 	if w.err != nil {
 		return nil, w.err
 	}
