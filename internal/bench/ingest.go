@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"context"
+
+	"helix/internal/sim"
+)
+
+// Ingest runs the continuous-ingest experiment: the streaming mini-batch
+// adaptation (§5.3) as a long-lived session over the default delivery
+// schedule, reporting per-tick plan-cache outcomes (partial hits on
+// delivery ticks, full fingerprint hits on quiet stretches) and the
+// compute time reuse avoided.
+func Ingest(ctx context.Context, cfg Config) (*sim.IngestReport, error) {
+	return sim.RunIngest(ctx, sim.IngestConfig{
+		Window:      4,
+		Scale:       cfg.Scale,
+		Parallelism: 2,
+	})
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"helix/internal/sim"
+)
+
+// ingestOutPath is where the continuous-ingest benchmark writes its
+// per-tick JSON report; override with HELIX_BENCH_INGEST_OUT. CI uploads
+// the file alongside BENCH_plan.json so the partial-hit rate and reuse
+// savings of the streaming workload are tracked per PR.
+func ingestOutPath() string {
+	if p := os.Getenv("HELIX_BENCH_INGEST_OUT"); p != "" {
+		return p
+	}
+	return "BENCH_ingest.json"
+}
+
+// BenchmarkContinuousIngest runs the continuous-ingest simulation
+// (internal/sim.RunIngest: windowed batch slots, per-tick deliveries and
+// quiet stretches under a long-lived PolicyOpt session) and records the
+// per-tick plan-cache outcomes and reuse savings into BENCH_ingest.json.
+// The plan-cache acceptance shape — exactly one cold solve, >0 partial
+// hits, >0 full hits, positive savings — is asserted, so a planner or
+// fingerprint regression fails the benchmark rather than silently
+// flattening the report.
+func BenchmarkContinuousIngest(b *testing.B) {
+	ctx := context.Background()
+	var rep *sim.IngestReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = sim.RunIngest(ctx, sim.IngestConfig{Window: 4, Parallelism: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.ColdPlans != 1 || rep.PartialHits == 0 || rep.FullHits == 0 {
+		b.Fatalf("plan-cache shape regressed: %d cold / %d partial / %d full hits",
+			rep.ColdPlans, rep.PartialHits, rep.FullHits)
+	}
+	if rep.TotalSavedSeconds <= 0 {
+		b.Fatalf("reuse savings = %f, want > 0", rep.TotalSavedSeconds)
+	}
+	b.ReportMetric(rep.PartialHitRate(), "partial-hit-rate")
+	b.ReportMetric(rep.TotalSavedSeconds, "saved-sec")
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(ingestOutPath(), append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", ingestOutPath(), err)
+	}
+}

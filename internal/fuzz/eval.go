@@ -1,0 +1,148 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"helix"
+)
+
+func init() {
+	// Every fuzz operator produces a []float64; register it once so
+	// materializations gob-encode and reload across the harness sessions.
+	helix.RegisterType([]float64(nil))
+}
+
+// EvalNode is the single arithmetic definition of every fuzz operator:
+// both the workflow closures and the from-scratch reference evaluator
+// call it, so matching results are bitwise-identical floats and any
+// divergence observed by the harness is the engine's doing (a stale
+// load, a wrong input, a corrupted plan) — never a modeling gap.
+//
+// The value is a deterministic function of (name, op, param, inputs).
+// Nil or empty inputs are skipped: a deliberately corrupted plan (the
+// injected-bug test) can hand children of pruned parents nil inputs, and
+// the harness must observe the wrong value rather than crash.
+//
+// The opcode picks the vector width (16/32/64 → varied materialization
+// sizes) and the busy-work weight (0–1.2M float ops, i.e. roughly
+// 0–2 ms), so the solver faces genuine load-vs-compute trade-offs: the
+// store estimates ~1 ms per load, making heavy operators worth loading
+// and light ones worth recomputing.
+func EvalNode(name string, op, param int, inputs [][]float64) []float64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := h.Sum64() ^ uint64(int64(op))*0x9E3779B97F4A7C15 ^ uint64(int64(param))*0xBF58476D1CE4E5B9
+	v := make([]float64, 16<<(((op%3)+3)%3))
+	for i := range v {
+		x = x*6364136223846793005 + 1442695040888963407
+		v[i] = float64(x>>40) * 1e-6
+	}
+	for k, in := range inputs {
+		if len(in) == 0 {
+			continue
+		}
+		w := 0.25 + float64(k+1)*1e-3
+		for i := range v {
+			v[i] = v[i]*0.75 + in[i%len(in)]*w
+		}
+	}
+	v[0] += float64(param)
+	s := 1.0
+	for i := busyIters(op); i > 0; i-- {
+		s = s*1.0000000001 + 1e-12
+	}
+	v[len(v)-1] += s * 1e-9
+	return v
+}
+
+// busyIters maps the opcode to its busy-work weight.
+func busyIters(op int) int { return (((op % 4) + 4) % 4) * 400000 }
+
+// BuildWorkflow lowers a node list into a helix Workflow whose operator
+// bodies all call EvalNode. Parents must precede children in the list
+// (applyEdits and the generator maintain this).
+func BuildWorkflow(name string, nodes []NodeSpec) (*helix.Workflow, error) {
+	wf := helix.New(name)
+	ops := make(map[string]*helix.Op, len(nodes))
+	for _, ns := range nodes {
+		spec := ns
+		fn := func(ctx context.Context, in []helix.Value) (helix.Value, error) {
+			vals := make([][]float64, len(in))
+			for i, v := range in {
+				if f, ok := v.([]float64); ok {
+					vals[i] = f
+				}
+			}
+			return EvalNode(spec.Name, spec.Op, spec.Param, vals), nil
+		}
+		parents := make([]*helix.Op, len(ns.Parents))
+		for i, p := range ns.Parents {
+			parent, ok := ops[p]
+			if !ok {
+				return nil, fmt.Errorf("fuzz: node %s references unknown parent %s", ns.Name, p)
+			}
+			parents[i] = parent
+		}
+		params := fmt.Sprintf("op=%d v=%d", ns.Op, ns.Param)
+		var op *helix.Op
+		switch ns.Kind {
+		case "source":
+			op = wf.Source(ns.Name, params, fn)
+		case "scanner":
+			op = wf.Scanner(ns.Name, params, fn, parents...)
+		case "extractor":
+			op = wf.Extractor(ns.Name, params, fn, parents...)
+		case "synthesizer":
+			op = wf.Synthesizer(ns.Name, params, fn, parents...)
+		case "learner":
+			op = wf.Learner(ns.Name, params, fn, parents...)
+		case "reducer":
+			op = wf.Reducer(ns.Name, params, fn, parents...)
+		default:
+			return nil, fmt.Errorf("fuzz: node %s has unknown kind %q", ns.Name, ns.Kind)
+		}
+		if ns.Output {
+			op.IsOutput()
+		}
+		if ns.Nondet {
+			op.Nondeterministic()
+		}
+		ops[ns.Name] = op
+	}
+	return wf, nil
+}
+
+// Reference evaluates the workflow from scratch — no engine, no store,
+// no planner — and returns the value of every declared output. This is
+// the ground truth for the reuse-correctness invariant: whatever mix of
+// computing and loading the session chose, its outputs must equal this.
+func Reference(nodes []NodeSpec) map[string][]float64 {
+	byName := make(map[string]NodeSpec, len(nodes))
+	for _, ns := range nodes {
+		byName[ns.Name] = ns
+	}
+	memo := make(map[string][]float64, len(nodes))
+	var eval func(name string) []float64
+	eval = func(name string) []float64 {
+		if v, ok := memo[name]; ok {
+			return v
+		}
+		ns := byName[name]
+		ins := make([][]float64, len(ns.Parents))
+		for i, p := range ns.Parents {
+			ins[i] = eval(p)
+		}
+		v := EvalNode(ns.Name, ns.Op, ns.Param, ins)
+		memo[name] = v
+		return v
+	}
+	out := make(map[string][]float64)
+	for _, ns := range nodes {
+		if ns.Output {
+			out[ns.Name] = eval(ns.Name)
+		}
+	}
+	return out
+}

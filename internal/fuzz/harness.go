@@ -1,0 +1,439 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"helix"
+	"helix/internal/store"
+)
+
+// Violation reports one invariant failure observed while running a Case.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Iteration int    `json:"iteration"`
+	Detail    string `json:"detail"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("invariant %s violated at iteration %d: %s", v.Invariant, v.Iteration, v.Detail)
+}
+
+// Stats accumulates coverage counters across RunCase calls, so a smoke
+// run can assert it actually exercised the interesting planner paths
+// (full fingerprint hits in particular) rather than vacuously passing.
+type Stats struct {
+	Cases      int
+	Iterations int
+	ColdPlans  int
+	Partial    int
+	FullHits   int
+}
+
+// options lowers the case configuration to session options.
+func (c Config) options() ([]helix.Option, error) {
+	opts := []helix.Option{helix.WithParallelism(c.Parallelism)}
+	switch c.Policy {
+	case "opt":
+		opts = append(opts, helix.WithPolicy(helix.PolicyOpt))
+		if c.BudgetBytes > 0 {
+			opts = append(opts, helix.WithStorageBudget(c.BudgetBytes))
+		}
+	case "always":
+		opts = append(opts, helix.WithPolicy(helix.PolicyAlways))
+	case "never":
+		opts = append(opts, helix.WithPolicy(helix.PolicyNever))
+	default:
+		return nil, fmt.Errorf("fuzz: unknown policy %q", c.Policy)
+	}
+	if c.SyncMat {
+		opts = append(opts, helix.WithSyncMaterialization(true))
+	}
+	return opts, nil
+}
+
+// oracleThreshold is the OMP threshold the invariant-4 oracle plans
+// under. The threshold never reaches the OPT-EXEC-PLAN solve — it only
+// steers Algorithm 2's materialization decisions at execution time — but
+// it IS part of the plan fingerprint's configuration token, so planning
+// with a threshold the subject never uses gives a guaranteed-fresh solve
+// over the very same session state (previous DAG, carried statistics,
+// store view) without ever aliasing the subject's cache entries. The
+// value is within rounding distance of the paper's default 2, so the
+// oracle's plan options are semantically identical to the subject's.
+const oracleThreshold = 2.000001
+
+// RunCase executes one fuzz case end to end and checks every invariant
+// at every iteration. Three sibling sessions run the same workflow
+// sequence — the subject (plan cache on, critical-path scheduling), a
+// cache-off oracle, and a FIFO-scheduled oracle — and a from-scratch
+// reference evaluation provides ground-truth values. The returned
+// Violation is nil when every invariant held; err reports harness
+// infrastructure failures only. stats may be nil.
+func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation, error) {
+	baseOpts, err := c.Config.options()
+	if err != nil {
+		return nil, err
+	}
+	open := func(sub string, extra ...helix.Option) (*helix.Session, error) {
+		return helix.Open(filepath.Join(dir, sub), append(append([]helix.Option{}, baseOpts...), extra...)...)
+	}
+	subject, err := open("subject")
+	if err != nil {
+		return nil, err
+	}
+	defer subject.Close()
+	cacheOff, err := open("cacheoff", helix.WithPlanCache(helix.PlanCacheOff))
+	if err != nil {
+		return nil, err
+	}
+	defer cacheOff.Close()
+	fifo, err := open("fifo", helix.WithScheduler(helix.SchedFIFO))
+	if err != nil {
+		return nil, err
+	}
+	defer fifo.Close()
+
+	if stats != nil {
+		stats.Cases++
+	}
+	subjectStoreDir := filepath.Join(dir, "subject")
+	mandatorySigs := make(map[string]bool)
+	prevManifest := make(map[string]int64)
+	var purgedMandatoryCredit int64
+
+	cur := cloneSpecs(c.Base)
+	for it, edits := range c.Iters {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		cur = applyEdits(cur, edits)
+		wf, err := BuildWorkflow(fmt.Sprintf("fuzz%d", c.Seed), cur)
+		if err != nil {
+			return nil, err
+		}
+		viol := func(inv, format string, args ...any) *Violation {
+			return &Violation{Invariant: inv, Iteration: it, Detail: fmt.Sprintf(format, args...)}
+		}
+
+		// Invariant-4 oracle: a fresh cold solve against the subject's
+		// current state, taken BEFORE the run so both see the same
+		// previous-iteration DAG, carried statistics, and store contents.
+		oracle, oerr := subject.Plan(wf, helix.WithOMPThreshold(oracleThreshold))
+		if oerr != nil {
+			return viol("run-error", "oracle plan failed: %v", oerr), nil
+		}
+
+		res, err := subject.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "subject run failed: %v", err), nil
+		}
+		offRes, err := cacheOff.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "cache-off run failed: %v", err), nil
+		}
+		fifoRes, err := fifo.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "fifo run failed: %v", err), nil
+		}
+		if stats != nil {
+			stats.Iterations++
+			switch res.Plan.Cache {
+			case helix.PlanCacheCold:
+				stats.ColdPlans++
+			case helix.PlanCachePartial:
+				stats.Partial++
+			case helix.PlanCacheHit:
+				stats.FullHits++
+			}
+		}
+
+		// Invariant 3a: required outputs are never pruned and never
+		// missing; 3c: nondeterministic operators are never loaded.
+		for _, ns := range cur {
+			if !ns.Output {
+				continue
+			}
+			np := res.Plan.ByName(ns.Name)
+			if np == nil || np.State == helix.StatePrune {
+				return viol("output-pruned", "output %s planned as pruned (plan %v)", ns.Name, res.Plan.Cache), nil
+			}
+			if v, ok := res.Values[ns.Name]; !ok || v == nil {
+				return viol("output-pruned", "output %s missing from Result.Values (state %v)", ns.Name, np.State), nil
+			}
+		}
+		for _, np := range res.Plan.Nodes {
+			if np.Live && !np.Node.Deterministic && np.State == helix.StateLoad {
+				return viol("nondet-load", "nondeterministic node %s assigned StateLoad", np.Node.Name), nil
+			}
+		}
+
+		// Invariant 3b: reuse never changes values — every output equals
+		// the from-scratch reference evaluation, byte for byte.
+		ref := Reference(cur)
+		for name, want := range ref {
+			if d := valueDiff(res.Values[name], want); d != "" {
+				return viol("reuse-correctness", "output %s diverged from reference: %s (plan %v, state %v)",
+					name, d, res.Plan.Cache, res.Plan.ByName(name).State), nil
+			}
+		}
+
+		// Invariant 1: plan-cache transparency — cache-on ≡ cache-off.
+		for name := range ref {
+			if d := valueDiff(res.Values[name], offRes.Values[name]); d != "" {
+				return viol("cache-off-equivalence", "output %s: subject vs cache-off: %s (subject plan %v)",
+					name, d, res.Plan.Cache), nil
+			}
+		}
+		// Invariant 2: scheduler equivalence — critical-path ≡ FIFO.
+		for name := range ref {
+			if d := valueDiff(res.Values[name], fifoRes.Values[name]); d != "" {
+				return viol("sched-equivalence", "output %s: critical-path vs fifo: %s", name, d), nil
+			}
+		}
+
+		// Invariant 4: plan-cache soundness — whatever the cache outcome,
+		// the executed plan's decisions equal a fresh solve's.
+		if len(res.Plan.Nodes) != len(oracle.Nodes) {
+			return viol("plan-cache-soundness", "%d planned nodes vs oracle's %d", len(res.Plan.Nodes), len(oracle.Nodes)), nil
+		}
+		for _, np := range res.Plan.Nodes {
+			o := oracle.ByName(np.Node.Name)
+			if o == nil {
+				return viol("plan-cache-soundness", "node %s absent from oracle plan", np.Node.Name), nil
+			}
+			if np.State != o.State || np.Live != o.Live || np.Original != o.Original ||
+				np.Output != o.Output || np.MandatoryMat != o.MandatoryMat {
+				return viol("plan-cache-soundness",
+					"node %s under %v plan: executed {state:%v live:%v orig:%v out:%v mandatory:%v} vs fresh solve {state:%v live:%v orig:%v out:%v mandatory:%v}",
+					np.Node.Name, res.Plan.Cache,
+					np.State, np.Live, np.Original, np.Output, np.MandatoryMat,
+					o.State, o.Live, o.Original, o.Output, o.MandatoryMat), nil
+			}
+		}
+
+		// Invariant 5: storage-budget compliance (PolicyOpt only; blind
+		// policies ignore the budget by design). Mandatory output
+		// materializations bypass Algorithm 2, so their bytes sit outside
+		// the budget; purging a mandatory entry credits the policy's
+		// remaining budget (Release is unconditional), so that credit is
+		// allowed for too.
+		if c.Config.Policy == "opt" {
+			manifest, err := readManifest(subjectStoreDir)
+			if err != nil {
+				return nil, err
+			}
+			for key, size := range prevManifest {
+				if mandatorySigs[key] {
+					if _, still := manifest[key]; !still {
+						purgedMandatoryCredit += size
+						delete(mandatorySigs, key)
+					}
+				}
+			}
+			for _, np := range res.Plan.Nodes {
+				if np.MandatoryMat {
+					mandatorySigs[np.Node.ChainSignature()] = true
+				}
+			}
+			var used, mandatory int64
+			for key, size := range manifest {
+				used += size
+				if mandatorySigs[key] {
+					mandatory += size
+				}
+			}
+			budget := c.Config.BudgetBytes
+			if budget <= 0 {
+				budget = helix.DefaultStorageBudget
+			}
+			if used-mandatory > budget+purgedMandatoryCredit {
+				return viol("storage-budget",
+					"store holds %d B (%d B mandatory) against budget %d B + %d B purged-mandatory credit",
+					used, mandatory, budget, purgedMandatoryCredit), nil
+			}
+			prevManifest = manifest
+		}
+	}
+	return nil, nil
+}
+
+// valueDiff compares two output values by their gob encoding (the same
+// bytes a materialization would store); empty string means equal.
+func valueDiff(got, want any) string {
+	gb, gerr := store.Encode(got)
+	wb, werr := store.Encode(want)
+	if gerr != nil || werr != nil {
+		return fmt.Sprintf("encode error (got: %v, want: %v)", gerr, werr)
+	}
+	if !bytes.Equal(gb, wb) {
+		return fmt.Sprintf("%d-byte value != %d-byte expectation (got %.6v want %.6v)", len(gb), len(wb), got, want)
+	}
+	return ""
+}
+
+// readManifest snapshots the store's on-disk manifest as chain-signature
+// → size. After Session.Run returns, the write-behind barrier has
+// flushed the manifest, so this is the authoritative post-iteration
+// usage — without reaching into the live session's store.
+func readManifest(dir string) (map[string]int64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]int64{}, nil
+		}
+		return nil, err
+	}
+	var entries []store.Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("fuzz: parse %s manifest: %w", dir, err)
+	}
+	m := make(map[string]int64, len(entries))
+	for _, e := range entries {
+		m[e.Key] = e.Size
+	}
+	return m, nil
+}
+
+// Options configures a fuzz run.
+type Options struct {
+	// Seed seeds the case-seed stream; each case derives its own seed,
+	// which is what a failure report prints.
+	Seed int64
+	// Cases is the number of generated cases to run (default 100).
+	Cases int
+	// Corpus, when non-empty, receives the minimized failing case as
+	// JSON for the regression corpus.
+	Corpus string
+	// ShrinkBudget bounds the number of candidate executions the
+	// shrinker may spend (default 150).
+	ShrinkBudget int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+	// Stats, when non-nil, accumulates coverage counters.
+	Stats *Stats
+}
+
+// Failure describes the first failing case of a run: the generating
+// seed, the violation, the original and minimized cases, and where the
+// corpus entry landed.
+type Failure struct {
+	CaseSeed   int64
+	Violation  *Violation
+	Case       *Case
+	Minimized  *Case
+	CorpusFile string
+}
+
+func (f *Failure) String() string {
+	return fmt.Sprintf("case seed %d: %s (minimized to %d nodes+edits; reproduce with: go run ./cmd/helixfuzz -case-seed %d)",
+		f.CaseSeed, f.Violation, f.Minimized.size(), f.CaseSeed)
+}
+
+// Run generates and executes o.Cases random cases. It stops at the
+// first invariant violation, shrinks the case to a local minimum,
+// writes it to the corpus, and returns the Failure; a clean sweep
+// returns (nil, nil). err is reserved for harness infrastructure
+// problems.
+func Run(ctx context.Context, o Options) (*Failure, error) {
+	if o.Cases <= 0 {
+		o.Cases = 100
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 150
+	}
+	logf := o.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	for i := 0; i < o.Cases; i++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		caseSeed := rng.Int63()
+		c := Generate(caseSeed)
+		v, err := runInTemp(ctx, c, o.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: case %d (seed %d): %w", i, caseSeed, err)
+		}
+		if v == nil {
+			if (i+1)%50 == 0 {
+				logf("fuzz: %d/%d cases clean", i+1, o.Cases)
+			}
+			continue
+		}
+		logf("fuzz: case %d (seed %d) FAILED: %s", i, caseSeed, v)
+		min, minV := Shrink(ctx, c, v, o.ShrinkBudget)
+		logf("fuzz: minimized %d → %d nodes+edits", c.size(), min.size())
+		f := &Failure{CaseSeed: caseSeed, Violation: minV, Case: c, Minimized: min}
+		if o.Corpus != "" {
+			path, werr := WriteCorpus(o.Corpus, min, minV)
+			if werr != nil {
+				return f, werr
+			}
+			f.CorpusFile = path
+		}
+		return f, nil
+	}
+	return nil, nil
+}
+
+// runInTemp runs one case in a throwaway directory.
+func runInTemp(ctx context.Context, c *Case, stats *Stats) (*Violation, error) {
+	dir, err := os.MkdirTemp("", "helixfuzz-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	return RunCase(ctx, dir, c, stats)
+}
+
+// corpusEntry is the JSON schema of a corpus file. Violation records
+// what the case caught when it was written (nil for seed entries that
+// document known-good behavior).
+type corpusEntry struct {
+	Violation *Violation `json:"violation"`
+	Case      *Case      `json:"case"`
+}
+
+// WriteCorpus writes the (minimized) case into dir as a regression
+// corpus entry and returns the file path.
+func WriteCorpus(dir string, c *Case, v *Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(corpusEntry{Violation: v, Case: c}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	tag := "seed"
+	if v != nil {
+		tag = v.Invariant
+	}
+	name := fmt.Sprintf("case-%d-%s.json", c.Seed, tag)
+	path := filepath.Join(dir, name)
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Replay loads a corpus file and re-runs its case, returning whatever
+// violation it produces now (nil = the invariants hold again).
+func Replay(ctx context.Context, path string) (*Violation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e corpusEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("fuzz: parse corpus file %s: %w", path, err)
+	}
+	if e.Case == nil {
+		return nil, fmt.Errorf("fuzz: corpus file %s has no case", path)
+	}
+	return runInTemp(ctx, e.Case, nil)
+}

@@ -220,6 +220,13 @@ func (p *Plan) Reuses() int {
 	return reused
 }
 
+// TestHookMutatePlan, when non-nil, is applied to every plan a Planner
+// returns — fresh solves and cache hits alike — before the caller sees
+// it. It exists solely for the property-based harness (internal/fuzz),
+// which installs a deliberately broken mutation to prove its invariant
+// checks catch a planner defect end to end. Never set outside tests.
+var TestHookMutatePlan func(*Plan)
+
 // Planner builds Plans. The zero value plans without reuse, without a
 // plan cache, and with a throwaway solver. A Planner (or at least its
 // Cache and Solver, which hold the cross-iteration state) is not safe for
@@ -309,6 +316,9 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 		}
 		keys, parents, fp = fingerprintInputs(in, pl.Opts, token)
 		if p := pl.Cache.hit(fp, in); p != nil {
+			if TestHookMutatePlan != nil {
+				TestHookMutatePlan(p)
+			}
 			return p, nil
 		}
 		reused, anc, words = pl.Cache.partial(in, pl.Opts, token, keys, parents)
@@ -347,6 +357,9 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 	p := pl.assemble(in, states, anc, words, reused, outcome, fp)
 	if pl.Cache != nil {
 		pl.Cache.store(fp, keys, parents, pl.Opts, token, p)
+	}
+	if TestHookMutatePlan != nil {
+		TestHookMutatePlan(p)
 	}
 	return p, nil
 }

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"helix/internal/workloads"
+)
+
+// TestContinuousIngest pins the ingest acceptance criteria: over the
+// default schedule the long-lived session must plan via BOTH partial hits
+// (delivery ticks dirty one slot chain plus the windowed suffix) and full
+// fingerprint hits (quiet stretches), never re-solve cold after tick 0,
+// and accumulate positive reuse savings.
+func TestContinuousIngest(t *testing.T) {
+	rep, err := RunIngest(context.Background(), IngestConfig{
+		Window:      3,
+		Scale:       workloads.Scale{},
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ColdPlans != 1 {
+		t.Errorf("cold plans = %d, want exactly 1 (tick 0)", rep.ColdPlans)
+	}
+	if rep.PartialHits == 0 {
+		t.Error("no partial plan-cache hits: deliveries should dirty only one weak component")
+	}
+	if rep.FullHits == 0 {
+		t.Error("no full plan-cache hits: quiet stretches should reach a byte-stable fingerprint")
+	}
+	if rep.TotalSavedSeconds <= 0 {
+		t.Errorf("TotalSavedSeconds = %f, want > 0", rep.TotalSavedSeconds)
+	}
+	// Savings must come from real per-tick reuse, not one lucky tick: every
+	// tick after the cold build either loads or prunes clean work.
+	for _, tk := range rep.Ticks[1:] {
+		if tk.Loaded+tk.Pruned == 0 {
+			t.Errorf("tick %d: no loads or prunes — nothing reused", tk.Tick)
+		}
+	}
+	if rep.Ticks[0].PlanCache != "cold" {
+		t.Errorf("tick 0 plan cache = %q, want cold", rep.Ticks[0].PlanCache)
+	}
+	t.Logf("\n%s", rep.String())
+}

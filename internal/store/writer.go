@@ -63,6 +63,16 @@ type WriteOutcome struct {
 	Secs float64
 }
 
+// WriterPoolSize reports the effective size of the write-behind writer
+// pool — Writers when positive, DefaultWriters otherwise. This is the
+// number the session's WorkerMat class accounts for.
+func (s *Store) WriterPoolSize() int {
+	if s.Writers > 0 {
+		return s.Writers
+	}
+	return DefaultWriters
+}
+
 // writerPool is the bounded background pool behind PutAsync/Flush/Close.
 type writerPool struct {
 	mu      sync.Mutex

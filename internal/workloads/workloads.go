@@ -77,6 +77,7 @@ func RegisterAll() {
 	helix.RegisterType(ml.ClusterSummary{})
 	helix.RegisterType(EvalReport{})
 	helix.RegisterType([]data.Image(nil))
+	helix.RegisterType([]float64(nil))
 	helix.RegisterType(map[string]float64(nil))
 	helix.RegisterType(0.0)
 	helix.RegisterType(0)

@@ -36,6 +36,9 @@ type config struct {
 	o         Options
 	ioWorkers int
 	observer  RunObserver
+	// runScope records which scope the options are being applied at, for
+	// options whose scope depends on their arguments (WithWorkerClass).
+	runScope bool
 	// err records the first invalid option value; checked after apply.
 	err error
 }
@@ -43,6 +46,7 @@ type config struct {
 // apply folds opts into the config. runScope rejects session-only
 // options; any invalid option value surfaces as the returned error.
 func (c *config) apply(opts []Option, runScope bool) error {
+	c.runScope = runScope
 	for _, op := range opts {
 		if op.apply == nil {
 			continue
@@ -96,6 +100,12 @@ const (
 	// (default max(compute parallelism, 4), capped by the plan's load
 	// count).
 	WorkerIO WorkerClass = "io"
+	// WorkerMat is the store's background writer pool flushing
+	// write-behind materializations (≤0 restores the store default).
+	// Session-scoped — the pool belongs to the store — so this class is
+	// only accepted by Open; WithWorkerClass(WorkerMat, n) is equivalent
+	// to WithMatWriters(n).
+	WorkerMat WorkerClass = "mat"
 )
 
 // WithPolicy selects the materialization strategy (the paper's system
@@ -170,10 +180,14 @@ func WithParallelism(n int) Option {
 	return Option{name: "WithParallelism", apply: func(c *config) { c.o.Parallelism = n }}
 }
 
-// WithWorkerClass sizes one of the execution scheduler's worker pools:
+// WithWorkerClass sizes one of the session's worker pools:
 // WorkerCompute bounds concurrent operator computation, WorkerIO sizes
-// the Load-state pool (≤0 restores its max(parallelism, 4) heuristic).
-// Unknown classes are rejected when the options are applied.
+// the Load-state pool (≤0 restores its max(parallelism, 4) heuristic),
+// and WorkerMat sizes the store's write-behind materialization pool.
+// WorkerMat is session-scoped (the pool belongs to the store); passing
+// it to Run or Plan returns an error satisfying
+// errors.Is(err, ErrSessionOption). Unknown classes are rejected when
+// the options are applied.
 func WithWorkerClass(class WorkerClass, size int) Option {
 	return Option{name: "WithWorkerClass", apply: func(c *config) {
 		switch class {
@@ -181,9 +195,17 @@ func WithWorkerClass(class WorkerClass, size int) Option {
 			c.o.Parallelism = size
 		case WorkerIO:
 			c.ioWorkers = size
+		case WorkerMat:
+			if c.runScope {
+				if c.err == nil {
+					c.err = tagged(ErrSessionOption, fmt.Errorf("helix: WithWorkerClass(WorkerMat, …) is session-scoped, pass it to Open"))
+				}
+				return
+			}
+			c.o.MatWriters = size
 		default:
 			if c.err == nil {
-				c.err = fmt.Errorf("helix: unknown worker class %q (want %q or %q)", class, WorkerCompute, WorkerIO)
+				c.err = fmt.Errorf("helix: unknown worker class %q (want %q, %q or %q)", class, WorkerCompute, WorkerIO, WorkerMat)
 			}
 		}
 	}}
@@ -214,7 +236,8 @@ func WithDiskThroughput(bytesPerSec float64) Option {
 
 // WithMatWriters sizes the store's background writer pool for
 // write-behind materialization; ≤0 uses the store default.
-// Session-scoped: the pool belongs to the store.
+// Session-scoped: the pool belongs to the store. Equivalent to
+// WithWorkerClass(WorkerMat, n).
 func WithMatWriters(n int) Option {
 	return Option{name: "WithMatWriters", sessionOnly: true,
 		apply: func(c *config) { c.o.MatWriters = n }}

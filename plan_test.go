@@ -218,6 +218,70 @@ func TestSessionPlanMatchesExecutedPlan(t *testing.T) {
 	}
 }
 
+// TestPlanDOTGoldenCensus pins Workflow.PlanDOT — the last untested
+// render path — against a golden file, under the same fully
+// deterministic L/I-iteration scenario as TestPlanExplainGoldenCensus:
+// synthetic carried statistics, ID-sized DPR materializations loaded at
+// the paper's 170 MB/s, and a retuned learner. The golden output pins
+// the state/C(n) labels, the prune/load styling, the mandatory-mat drum
+// marker, and every rationale tooltip. Regenerate with
+// `go test -run PlanDOTGolden -update .` after intentional format
+// changes.
+func TestPlanDOTGoldenCensus(t *testing.T) {
+	wf := workloads.NewCensus(workloads.Scale{Rows: 1, CostFactor: 40}, 1).Build()
+	prog, err := wf.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.DAG
+	d.ComputeSignatures()
+
+	prev := censusProgramDAG(t)
+	for i, n := range prev.Nodes() {
+		n.Metrics = core.Metrics{
+			Compute: time.Duration(i+1) * 100 * time.Millisecond,
+			Known:   true,
+		}
+	}
+	sizes := make(map[string]int64)
+	for i, n := range d.Nodes() {
+		if n.Component == core.DPR {
+			sizes[n.ChainSignature()] = int64(i+1) << 20
+		}
+	}
+	d.Node("predictions").OpSignature += "|regParam=0.01"
+
+	planner := &plan.Planner{
+		View: deterministicView{sizes: sizes},
+		Opts: plan.Options{MaterializeOutputs: true},
+	}
+	p, err := planner.Plan(d, prev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wf.PlanDOT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "census_plandot.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Workflow.PlanDOT drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 // TestPlanDOTAnnotations: PlanDOT renders plan states and rationale.
 func TestPlanDOTAnnotations(t *testing.T) {
 	sess, err := helix.NewSession(t.TempDir())

@@ -177,6 +177,11 @@ type Session struct {
 	iter    int
 	history []IterationRecord
 	closed  bool
+	// runActive is true while a Run is between its entry snapshot and its
+	// final state update; Close waits on runDone until it clears so the
+	// store is never torn down under an executing iteration.
+	runActive bool
+	runDone   *sync.Cond
 }
 
 // sessionStateFile holds the persisted snapshot within the store dir.
@@ -227,6 +232,7 @@ func Open(dir string, opts ...Option) (*Session, error) {
 		base:     cfg,
 		policies: map[string]opt.MatPolicy{cfg.policyKey(): pol},
 	}
+	s.runDone = sync.NewCond(&s.mu)
 	s.engine = &exec.Engine{Store: st, Opts: s.execOptions(&cfg, pol)}
 	if cfg.o.PlanCache != PlanCacheOff {
 		// The config token pins every engine-level setting plan reuse
@@ -481,11 +487,19 @@ func (s *Session) Run(ctx context.Context, wf *Workflow, opts ...Option) (*Resul
 	}
 	defer s.running.Store(false)
 	s.mu.Lock()
-	prev, iter, closed := s.prev, s.iter, s.closed
-	s.mu.Unlock()
-	if closed {
+	if s.closed {
+		s.mu.Unlock()
 		return nil, ErrSessionClosed
 	}
+	s.runActive = true
+	prev, iter := s.prev, s.iter
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.runActive = false
+		s.runDone.Broadcast()
+		s.mu.Unlock()
+	}()
 	eo, err := s.runConfig(opts)
 	if err != nil {
 		return nil, err
@@ -532,7 +546,12 @@ func (s *Session) RunTimed(ctx context.Context, wf *Workflow, opts ...Option) (*
 // iteration history. Always call Close (directly or deferred) when done
 // with a session — otherwise background writes may still be in flight
 // when the process exits. Close is idempotent; Run and Plan after Close
-// return ErrSessionClosed. Do not call Close while a Run is in flight.
+// return ErrSessionClosed.
+//
+// Close is safe to call while a Run is in flight: it blocks until that
+// iteration completes (the iteration itself runs to completion and its
+// results remain valid), then tears down the store. Run calls that start
+// after Close has begun return ErrSessionClosed.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -540,6 +559,9 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	for s.runActive {
+		s.runDone.Wait()
+	}
 	s.mu.Unlock()
 	s.saveState()
 	return s.store.Close()

@@ -1,0 +1,139 @@
+package helix
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowWorkflow is a two-operator pipeline whose source blocks until
+// release is closed, holding a Run in flight for as long as the test
+// needs.
+func slowWorkflow(release <-chan struct{}, started *atomic.Bool) *Workflow {
+	wf := New("slow")
+	src := wf.Source("data", "v1", func(ctx context.Context, in []Value) (Value, error) {
+		started.Store(true)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return []string{"a", "b"}, nil
+	})
+	wf.Reducer("out", "len", func(ctx context.Context, in []Value) (Value, error) {
+		return float64(len(in[0].([]string))), nil
+	}, src).IsOutput()
+	return wf
+}
+
+// TestCloseBlocksOnInFlightRun: Close called while a Run is executing
+// must wait for the iteration to complete — the run's results stay
+// valid, its materializations are flushed, no goroutine leaks — and the
+// next Run must see ErrSessionClosed. Run under -race, this also proves
+// the Close/Run interleaving is data-race free.
+func TestCloseBlocksOnInFlightRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sess, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var started atomic.Bool
+	type runOut struct {
+		res *Result
+		err error
+	}
+	runDone := make(chan runOut, 1)
+	go func() {
+		res, err := sess.Run(context.Background(), slowWorkflow(release, &started))
+		runDone <- runOut{res, err}
+	}()
+
+	// Wait until the run is genuinely inside an operator body.
+	for !started.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- sess.Close() }()
+
+	// Close must block while the run is in flight, not tear the store
+	// down under it.
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned (%v) while a Run was still executing", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	out := <-runDone
+	if out.err != nil {
+		t.Fatalf("in-flight Run failed during Close: %v", out.err)
+	}
+	if out.res.Values["out"] != 2.0 {
+		t.Fatalf("in-flight Run output = %v, want 2", out.res.Values["out"])
+	}
+	if err := <-closeDone; err != nil {
+		t.Fatalf("Close after run completion: %v", err)
+	}
+
+	// The next Run (and Plan) must fail cleanly.
+	var c atomic.Int64
+	if _, err := sess.Run(context.Background(), buildWorkflow(&c, "LR reg=0.1")); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Plan(buildWorkflow(&c, "LR reg=0.1")); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Plan after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if c.Load() != 0 {
+		t.Fatal("post-Close calls executed operators")
+	}
+
+	// No goroutine may outlive the session (writer pool, scheduler,
+	// samplers). Allow the runtime a few settle iterations.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after Close: %d → %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseRacingRunEntry: a Close racing the very start of a Run must
+// end with either a clean completed iteration or a clean
+// ErrSessionClosed — never a torn store or a panic. Exercised many times
+// to give -race interleavings to chew on.
+func TestCloseRacingRunEntry(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		sess, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c atomic.Int64
+		wf := buildWorkflow(&c, "LR reg=0.1")
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := sess.Run(context.Background(), wf)
+			errCh <- err
+		}()
+		if err := sess.Close(); err != nil {
+			t.Fatalf("iter %d: Close: %v", i, err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("iter %d: Run racing Close: err = %v, want nil or ErrSessionClosed", i, err)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("iter %d: second Close: %v", i, err)
+		}
+	}
+}
