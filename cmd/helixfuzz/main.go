@@ -1,8 +1,10 @@
 // Command helixfuzz runs the property-based invariant harness
-// (internal/fuzz): seed-driven random workflow DAGs, random edit
-// sequences, and random session configurations, each executed through a
-// real Session and cross-checked against cache-off, FIFO, fresh-solve,
-// and from-scratch oracles.
+// (internal/fuzz): seed-driven random workflow DAGs (including streaming
+// row-wise operators), random edit sequences, random session
+// configurations, and randomly scheduled mid-sequence restarts and
+// mid-run cancellations, each executed through a real Session and
+// cross-checked against cache-off, FIFO, streaming-off, gob-codec,
+// fresh-solve, and from-scratch oracles.
 //
 // Usage:
 //
@@ -63,8 +65,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "helixfuzz: case seed %d: %s\n", *caseSeed, v)
 			os.Exit(1)
 		}
-		logf("helixfuzz: case seed %d clean (%d iterations: %d cold / %d partial / %d full-hit plans)",
-			*caseSeed, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits)
+		logf("helixfuzz: case seed %d clean (%d iterations: %d cold / %d partial / %d full-hit plans; %d restarts, %d cancels)",
+			*caseSeed, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits, stats.Restarts, stats.Cancels)
 
 	default:
 		stats := &fuzz.Stats{}
@@ -84,8 +86,9 @@ func main() {
 			}
 			os.Exit(1)
 		}
-		logf("helixfuzz: %d cases clean (%d iterations: %d cold / %d partial / %d full-hit plans)",
-			stats.Cases, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits)
+		logf("helixfuzz: %d cases clean (%d iterations: %d cold / %d partial / %d full-hit plans; %d restarts, %d cancels [%d aborted])",
+			stats.Cases, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits,
+			stats.Restarts, stats.Cancels, stats.CancelAborted)
 	}
 }
 

@@ -53,6 +53,13 @@ func (w *Workflow) PlanDOT(p *Plan) (string, error) {
 		if np.MandatoryMat {
 			label += "\\n⛁ mandatory" // the paper's drum
 		}
+		if np.FuseGroup >= 0 {
+			// Fused-run members render dashed with a shared group marker:
+			// the run executes as one scheduled unit and only its tail's
+			// value is ever built.
+			label += fmt.Sprintf("\\n≋ fused #%d", np.FuseGroup)
+			attrs = append(attrs, `style="filled,dashed"`)
+		}
 		attrs = append(attrs, fmt.Sprintf("tooltip=%q", np.Rationale))
 		return label, attrs
 	})

@@ -104,7 +104,9 @@ const (
 	PPR = core.PPR
 )
 
-// RegisterType registers a concrete Go type for materialization, like
-// gob.Register. Operator outputs that should be materialized and reloaded
-// across program restarts must have their types registered.
-func RegisterType(v any) { store.Register(v) }
+// RegisterType registers a concrete Go type for materialization with
+// every store codec. Operator outputs that should be materialized and
+// reloaded across program restarts must have their types registered.
+// Types with no native or extension encoding in the binary codec travel
+// through its gob escape hatch, which is what the registration feeds.
+func RegisterType(v any) { store.RegisterValueType(v) }

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"helix"
+	"helix/internal/store"
+	"helix/internal/workloads"
+)
+
+func init() {
+	// The gob side of the comparison needs the composite payload types
+	// registered; the binary codec handles them natively.
+	store.RegisterValueType([]float64(nil))
+	store.RegisterValueType([]string(nil))
+	store.RegisterValueType([][]float64(nil))
+}
+
+// codecBenchOutPath is where the codec and streaming benchmarks write
+// their JSON summary; override with HELIX_BENCH_CODEC_OUT. CI uploads it
+// beside BENCH_plan.json.
+func codecBenchOutPath() string {
+	if p := os.Getenv("HELIX_BENCH_CODEC_OUT"); p != "" {
+		return p
+	}
+	return "BENCH_codec.json"
+}
+
+// codecPayloads are the microbenchmark inputs: the value shapes the
+// store actually materializes at census scale — a numeric column, a
+// low-cardinality categorical column, and a row matrix.
+func codecPayloads() []struct {
+	name  string
+	value any
+} {
+	floats := make([]float64, 1_000_000)
+	for i := range floats {
+		floats[i] = float64(i%100000) / 100
+	}
+	cats := make([]string, 500_000)
+	for i := range cats {
+		cats[i] = fmt.Sprintf("category-%d", i%16)
+	}
+	mat := make([][]float64, 50_000)
+	for i := range mat {
+		row := make([]float64, 20)
+		for j := range row {
+			row[j] = float64(i*20 + j)
+		}
+		mat[i] = row
+	}
+	return []struct {
+		name  string
+		value any
+	}{
+		{"float64s_1m", floats},
+		{"strings_500k", cats},
+		{"floatmat_50kx20", mat},
+	}
+}
+
+// BenchmarkCodecEncodeDecode measures encode+decode wall time for the
+// binary codec against gob on census-shaped payloads. The acceptance
+// floor — binary at least 2× faster than gob on combined encode+decode —
+// is asserted per payload, and the measured numbers land in
+// BENCH_codec.json. Best-of-reps is compared: both codecs run in one
+// process and GC pauses would otherwise dominate the ratio's variance.
+func BenchmarkCodecEncodeDecode(b *testing.B) {
+	const reps = 5
+	metrics := map[string]float64{}
+	for _, p := range codecPayloads() {
+		roundTrip := func(c store.Codec) float64 {
+			best := 0.0
+			for rep := 0; rep < reps; rep++ {
+				// Quiesce the collector outside the timed region: gob's
+				// decode garbage (one allocation per string) otherwise bills
+				// GC pauses to whichever codec runs next.
+				runtime.GC()
+				start := time.Now()
+				enc, err := c.Encode(p.value)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := c.Decode(enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs := time.Since(start).Seconds()
+				if rep == 0 {
+					if !reflect.DeepEqual(dec, p.value) {
+						b.Fatalf("%s: %s round trip corrupted the value", p.name, c.Name())
+					}
+					metrics[p.name+"_"+c.Name()+"_bytes"] = float64(len(enc))
+				}
+				if rep == 0 || secs < best {
+					best = secs
+				}
+			}
+			return best
+		}
+		for i := 0; i < b.N; i++ {
+			binSecs := roundTrip(store.BinaryCodec{})
+			gobSecs := roundTrip(store.GobCodec{})
+			ratio := gobSecs / binSecs
+			metrics[p.name+"_binary_s"] = binSecs
+			metrics[p.name+"_gob_s"] = gobSecs
+			metrics[p.name+"_speedup"] = ratio
+			b.Logf("%s: binary %.2fms vs gob %.2fms (%.1fx)", p.name, binSecs*1e3, gobSecs*1e3, ratio)
+			if ratio < 2 {
+				b.Errorf("%s: binary codec only %.2fx faster than gob on encode+decode, want ≥2x", p.name, ratio)
+			}
+		}
+	}
+	recordMetricsTo(b, codecBenchOutPath(), metrics)
+}
+
+// BenchmarkStreamingCensus runs the census-scale streaming pipeline
+// (internal/workloads.CensusStream) with fused row-wise execution and
+// again in batch mode, recording wall time and sampled peak heap for
+// both. Batch execution necessarily holds every intermediate column live
+// at once, so fused execution must show a lower peak; the outputs are
+// checked byte-identical here too (the workloads test asserts the same
+// at test scale).
+func BenchmarkStreamingCensus(b *testing.B) {
+	const rows = 2_000_000
+	wf := workloads.CensusStream(rows, 1)
+	ctx := context.Background()
+
+	run := func(streaming bool) (secs float64, peak uint64, out []byte) {
+		sess, err := helix.Open(b.TempDir(),
+			helix.WithStreaming(streaming),
+			helix.WithMemorySampling(true),
+			helix.WithPolicy(helix.PolicyNever))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		start := time.Now()
+		res, err := sess.Run(ctx, wf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs = time.Since(start).Seconds()
+		enc, err := store.Encode(res.Values["stats"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		return secs, res.PeakMemBytes, enc
+	}
+
+	for i := 0; i < b.N; i++ {
+		streamSecs, streamPeak, streamOut := run(true)
+		batchSecs, batchPeak, batchOut := run(false)
+		if !bytes.Equal(streamOut, batchOut) {
+			b.Fatal("census-stream outputs differ between fused and batch execution")
+		}
+		reduction := 1 - float64(streamPeak)/float64(batchPeak)
+		b.Logf("rows=%d: fused %.2fs peak %d MiB vs batch %.2fs peak %d MiB (peak-RSS −%.0f%%)",
+			rows, streamSecs, streamPeak>>20, batchSecs, batchPeak>>20, reduction*100)
+		if streamPeak >= batchPeak {
+			b.Errorf("fused peak heap %d B not below batch %d B", streamPeak, batchPeak)
+		}
+		recordMetricsTo(b, codecBenchOutPath(), map[string]float64{
+			"streaming_census_rows":               rows,
+			"streaming_census_fused_s":            streamSecs,
+			"streaming_census_batch_s":            batchSecs,
+			"streaming_census_fused_peak_b":       float64(streamPeak),
+			"streaming_census_batch_peak_b":       float64(batchPeak),
+			"streaming_census_peak_reduction_pct": reduction * 100,
+		})
+	}
+}

@@ -32,7 +32,13 @@ func benchOutPath() string {
 // preserving keys written by other benchmarks in the same run.
 func recordBenchMetrics(b *testing.B, kv map[string]float64) {
 	b.Helper()
-	path := benchOutPath()
+	recordMetricsTo(b, benchOutPath(), kv)
+}
+
+// recordMetricsTo merges measurements into the JSON file at path,
+// preserving keys written by other benchmarks in the same run.
+func recordMetricsTo(b *testing.B, path string, kv map[string]float64) {
+	b.Helper()
 	m := map[string]float64{}
 	if data, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(data, &m)

@@ -1,0 +1,89 @@
+// Lazy sequence view of collections: the iterator substrate behind
+// streaming fused operator execution. Where the eager operators in
+// collection.go fully build one partitioned collection per step (with a
+// per-operation barrier each), the Seq combinators compose row-wise
+// Map / FlatMap / Filter stages into a single per-element pull pipeline —
+// only the pipeline's endpoints ever exist as whole collections, so a
+// fused chain of k row-wise operators costs one pass, zero interior
+// allocations proportional to the data, and no barriers.
+package collection
+
+import "iter"
+
+// Seq returns the collection's elements as a lazy sequence in partition
+// order — the same order Collect produces, so draining the sequence and
+// collecting the collection are interchangeable representations.
+func (c *Collection[T]) Seq() iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for _, part := range c.parts {
+			for _, v := range part {
+				if !yield(v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// SliceSeq returns a lazy sequence over a plain slice.
+func SliceSeq[T any](s []T) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for _, v := range s {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// MapSeq lazily applies f to each element; nothing runs until the result
+// is drained.
+func MapSeq[T, U any](s iter.Seq[T], f func(T) U) iter.Seq[U] {
+	return func(yield func(U) bool) {
+		for v := range s {
+			if !yield(f(v)) {
+				return
+			}
+		}
+	}
+}
+
+// FilterSeq lazily keeps the elements for which pred is true.
+func FilterSeq[T any](s iter.Seq[T], pred func(T) bool) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for v := range s {
+			if pred(v) && !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// FlatMapSeq lazily expands each element into zero or more elements.
+func FlatMapSeq[T, U any](s iter.Seq[T], f func(T) []U) iter.Seq[U] {
+	return func(yield func(U) bool) {
+		for v := range s {
+			for _, u := range f(v) {
+				if !yield(u) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CollectSeq drains a sequence into a slice — the materialization
+// boundary of a fused pipeline. An empty sequence yields nil, matching
+// the append-based batch operators byte-for-byte under encoding.
+func CollectSeq[T any](s iter.Seq[T]) []T {
+	var out []T
+	for v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// FromSeq materializes a sequence into a partitioned collection.
+func FromSeq[T any](env *Env, s iter.Seq[T]) *Collection[T] {
+	return New(env, CollectSeq(s))
+}

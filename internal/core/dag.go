@@ -115,6 +115,14 @@ type Node struct {
 	// never have equivalent materializations and are always recomputed.
 	Deterministic bool
 
+	// Streamable reports that the operator is a unary row-wise
+	// transformation (map / flatMap / filter over its single input's rows)
+	// with a registered per-row implementation, making it a candidate for
+	// operator fusion: the planner may place it inside a fused run whose
+	// interior collections are never fully built. Set by the DSL compiler
+	// for operators declared through the streaming helpers.
+	Streamable bool
+
 	// Metrics from the most recent execution (or a previous iteration, per
 	// §5.2: statistics of equivalent nodes carry over exactly).
 	Metrics Metrics

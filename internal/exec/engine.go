@@ -50,10 +50,14 @@ import (
 type OpFunc func(ctx context.Context, inputs []any) (any, error)
 
 // Program is a compiled workflow: a DAG plus the executable function for
-// each node. Produced by the DSL compiler.
+// each node. Produced by the DSL compiler. Rows carries the per-row
+// implementation of each streamable operator (nil for batch-only nodes);
+// the engine consults it when the plan fused a chain of such operators
+// into one scheduled unit.
 type Program struct {
-	DAG *core.DAG
-	Fns map[*core.Node]OpFunc
+	DAG  *core.DAG
+	Fns  map[*core.Node]OpFunc
+	Rows map[*core.Node]*RowOp
 }
 
 // Sizer lets values report their approximate serialized size cheaply, so
@@ -122,6 +126,12 @@ type Options struct {
 	// Events are delivered serially but from worker goroutines; a nil
 	// observer costs nothing.
 	Observer Observer
+	// DisableStreaming turns off operator fusion: every streamable node
+	// executes as an ordinary batch operator with its own scheduler slot
+	// and fully built output. Kept as an escape hatch
+	// (helix.WithStreaming(false)) and for A/B benchmarking; the fuzz
+	// harness proves the two modes byte-identical.
+	DisableStreaming bool
 }
 
 // SchedMode selects the scheduler's ready-queue ordering policy.
@@ -269,6 +279,7 @@ func (e *Engine) PlanWith(d *core.DAG, prev *core.DAG, iteration int, opts Optio
 			DisableReuse:       opts.DisableReuse,
 			DisablePruning:     opts.DisablePruning,
 			MaterializeOutputs: opts.MaterializeOutputs,
+			Streaming:          !opts.DisableStreaming,
 		},
 		Cache:       e.Cache,
 		Solver:      &e.solver,
@@ -314,6 +325,15 @@ type nodeRun struct {
 	// value; when it reaches zero the node is out of scope (Definition 5).
 	pending int32
 	retired int32
+	// unit, on a fused run's head, lists every member (head first, tail
+	// last): the head's execution drives the whole chain with per-element
+	// pull. fusedInto points non-head members at their head; they never
+	// occupy a scheduler slot of their own. streamed marks members whose
+	// value is never built (every member but the tail): retirement skips
+	// the materialization decision for them.
+	unit      []*nodeRun
+	fusedInto *nodeRun
+	streamed  bool
 }
 
 // Run plans and executes one iteration of the program. prev is the
@@ -417,6 +437,39 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 		runs[i] = r
 		byNode[np.Node] = r
 	}
+
+	// Wire the plan's fused runs into execution units. Each group is
+	// validated against this program before use — a cached or test-mutated
+	// plan whose members no longer line up (state changed, RowOp missing)
+	// degrades to ordinary per-node batch execution rather than failing.
+	for _, g := range p.Fused {
+		ok := len(g) >= 2 && prog.Rows != nil
+		for _, i := range g {
+			if !ok || i < 0 || i >= len(runs) {
+				ok = false
+				break
+			}
+			if r := runs[i]; r.state != core.StateCompute || prog.Rows[r.node] == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		head := runs[g[0]]
+		head.unit = make([]*nodeRun, len(g))
+		for k, i := range g {
+			head.unit[k] = runs[i]
+			if k > 0 {
+				runs[i].fusedInto = head
+			}
+			if k < len(g)-1 {
+				runs[i].streamed = true
+			}
+		}
+	}
+
 	scheduled := 0
 	for _, r := range runs {
 		if r.state == core.StatePrune {
@@ -425,11 +478,16 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 			// run starts: it will never execute. Non-live nodes are
 			// outside the program slice and emit nothing.
 			if r.np.Live {
-				em.node(r.node.Name, NodeRetired, core.StatePrune, 0, false, 0)
+				em.node(r.node.Name, NodeRetired, core.StatePrune, 0, false, 0, false)
 			}
 			continue
 		}
-		scheduled++
+		// Fused-run members ride inside their head's scheduler slot: they
+		// still track pending (retirement) but never count as scheduled
+		// work of their own.
+		if r.fusedInto == nil {
+			scheduled++
+		}
 		var pending int32
 		for _, ch := range r.node.Children() {
 			if cr := byNode[ch]; cr != nil && cr.state == core.StateCompute {
@@ -461,6 +519,7 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 		em:        em,
 		plan:      p,
 		runs:      byNode,
+		rows:      prog.Rows,
 		times:     make([]atomic.Uint64, len(runs)),
 		outputs:   make(map[*core.Node]bool, len(d.Outputs())),
 		iteration: p.Iteration,
@@ -621,7 +680,7 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 
 	ready := newReadyQueue()
 	for _, r := range runs { // topological order: parents enqueue first
-		if r.state == core.StateCompute && atomic.LoadInt32(&r.deps) == 0 {
+		if r.state == core.StateCompute && r.fusedInto == nil && atomic.LoadInt32(&r.deps) == 0 {
 			ready.push(r)
 		}
 	}
@@ -639,19 +698,36 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 	// queue after the overall last node (which may be a load). On failure,
 	// descendants can never run; cancel closes the queue instead
 	// (remaining never reaches zero).
-	finish := func(r *nodeRun) {
-		if r.err != nil {
-			st.cancel()
-			return
-		}
-		for _, ch := range r.node.Children() {
+	// release decrements the scheduling dependency of n's computing
+	// children and enqueues any that became ready. Fused-run members are
+	// skipped: they execute inside their head's slot, and a cross-group
+	// member is released by its own head's unit completing, never by an
+	// upstream finish.
+	release := func(n *core.Node) {
+		for _, ch := range n.Children() {
 			cr := st.runs[ch]
-			if cr == nil || cr.state != core.StateCompute {
+			if cr == nil || cr.state != core.StateCompute || cr.fusedInto != nil {
 				continue
 			}
 			if atomic.AddInt32(&cr.deps, -1) == 0 {
 				ready.push(cr)
 			}
+		}
+	}
+	finish := func(r *nodeRun) {
+		if r.err != nil {
+			st.cancel()
+			return
+		}
+		if r.unit != nil {
+			// A fused unit's completion releases the children of every
+			// member at once — interiors have none outside the unit by the
+			// fusion rule, but the tail (and load/prune-fed interiors) can.
+			for _, m := range r.unit {
+				release(m.node)
+			}
+		} else {
+			release(r.node)
 		}
 		if remaining.Add(-1) == 0 {
 			ready.close()
@@ -715,6 +791,9 @@ type runState struct {
 	em   *emitter
 	plan *plan.Plan
 	runs map[*core.Node]*nodeRun
+	// rows is Program.Rows: per-row implementations for streamable
+	// operators, consulted when executing fused units.
+	rows map[*core.Node]*RowOp
 	// times publishes each run's measured own time t(n), indexed by plan
 	// order, as atomic float bits. Written once when a node finishes;
 	// retirement sums ancestor entries to price C(n). A still-running
@@ -764,7 +843,12 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		return
 	}
 
-	s.em.node(n.Name, NodeStarted, r.state, 0, false, 0)
+	if r.unit != nil {
+		s.execFused(ctx, r)
+		return
+	}
+
+	s.em.node(n.Name, NodeStarted, r.state, 0, false, 0, false)
 
 	switch r.state {
 	case core.StateLoad:
@@ -848,6 +932,92 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 	}
 }
 
+// execFused executes a fused run as one scheduled unit: the head's input
+// rows stream through every member's per-row Apply and only the tail's
+// value is ever built (runRowOps). Interiors never allocate an output
+// proportional to the data and never occupy a worker slot of their own.
+// Measured wall time is attributed evenly across members — per-member
+// timing is unobservable inside a fused pipeline by design, and an even
+// share keeps C(n) sums and Metrics-based cost models finite and
+// order-of-magnitude right.
+func (s *runState) execFused(ctx context.Context, r *nodeRun) {
+	// The head's own done channel is closed by execNode's defer; the rest
+	// of the unit completes (successfully or not) exactly when the head
+	// does.
+	defer func() {
+		for _, m := range r.unit[1:] {
+			close(m.done)
+		}
+	}()
+
+	for _, m := range r.unit {
+		s.em.node(m.node.Name, NodeStarted, m.state, 0, false, 0, true)
+	}
+
+	inputs := make([]any, len(r.node.Parents()))
+	for i, p := range r.node.Parents() {
+		pr := s.runs[p]
+		if pr == nil || pr.state == core.StatePrune {
+			continue
+		}
+		if pr.err != nil {
+			r.err = fmt.Errorf("input %q failed", p.Name)
+			return
+		}
+		inputs[i] = pr.value
+	}
+	if len(inputs) != 1 {
+		r.err = fmt.Errorf("fused run head %q has %d inputs, want 1", r.node.Name, len(inputs))
+		return
+	}
+	ops := make([]*RowOp, len(r.unit))
+	for i, m := range r.unit {
+		ops[i] = s.rows[m.node]
+	}
+
+	start := time.Now()
+	value, err := runRowOps(ctx, ops, inputs[0])
+	if err != nil {
+		r.err = err
+		return
+	}
+	elapsed := time.Since(start)
+
+	share := elapsed / time.Duration(len(r.unit))
+	tail := r.unit[len(r.unit)-1]
+	tail.value = value
+	for _, m := range r.unit {
+		m.ownSecs = share.Seconds()
+		m.node.Metrics.Compute = share
+		m.node.Metrics.Known = true
+		s.times[m.np.Index].Store(math.Float64bits(m.ownSecs))
+	}
+
+	// Retirement cascade. The head consumed its boundary parents' values;
+	// each interior's (never-built) value was consumed by the next member,
+	// so interiors retire as the stream passes — their streamed flag
+	// short-circuits the materialization decision. The tail retires
+	// normally and can materialize under its own chain signature, keeping
+	// cross-iteration reuse keyed exactly as batch execution would.
+	for _, p := range r.node.Parents() {
+		pr := s.runs[p]
+		if pr == nil {
+			continue
+		}
+		if atomic.AddInt32(&pr.pending, -1) == 0 {
+			s.retire(pr)
+		}
+	}
+	for _, m := range r.unit[:len(r.unit)-1] {
+		if atomic.AddInt32(&m.pending, -1) == 0 {
+			s.retire(m)
+		}
+	}
+	if atomic.LoadInt32(&tail.pending) == 0 {
+		s.retire(tail)
+	}
+}
+
 // retire handles an out-of-scope node (Definition 5, Constraint 3): decide
 // materialization via the policy (Algorithm 2), release the in-memory
 // reference (eager cache pruning, §5.4), then emit the node's NodeRetired
@@ -859,7 +1029,8 @@ func (s *runState) retire(r *nodeRun) {
 	}
 	materialized, bytes := s.retireValue(r)
 	if r.err == nil {
-		s.em.node(r.node.Name, NodeRetired, r.state, r.ownSecs, materialized, bytes)
+		fused := r.unit != nil || r.fusedInto != nil
+		s.em.node(r.node.Name, NodeRetired, r.state, r.ownSecs, materialized, bytes, fused)
 	}
 }
 
@@ -870,6 +1041,13 @@ func (s *runState) retire(r *nodeRun) {
 // run's materialization decisions too, not only its plan.
 func (s *runState) retireValue(r *nodeRun) (materialized bool, bytes int64) {
 	n := r.node
+	if r.streamed {
+		// A fused run's non-tail member: its value was never built (rows
+		// streamed straight through), so there is nothing to evict and
+		// nothing the policy could materialize. The member's equivalent
+		// result remains reconstructible via the recompute fallback.
+		return false, 0
+	}
 	if r.state != core.StateCompute || r.err != nil {
 		// Loaded results are already on disk: just release the cache
 		// reference. Pruned nodes have no value. (The store lookup also
@@ -944,7 +1122,7 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 			// time is charged as materialization overhead.
 			encStart := time.Now()
 			var err error
-			data, err = store.Encode(r.value)
+			data, err = e.Store.EncodeValue(r.value)
 			if err != nil {
 				return false, 0 // unserializable values are simply not materialized
 			}
@@ -965,7 +1143,7 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 	matStart := time.Now()
 	if !encoded {
 		var err error
-		data, err = store.Encode(r.value)
+		data, err = e.Store.EncodeValue(r.value)
 		if err != nil {
 			return false, 0
 		}

@@ -15,9 +15,9 @@ import (
 )
 
 func init() {
-	store.Register([]string(nil))
-	store.Register(0)
-	store.Register(0.0)
+	store.RegisterValueType([]string(nil))
+	store.RegisterValueType(0)
+	store.RegisterValueType(0.0)
 }
 
 // testProgram builds a 4-node chain source → extract → learn → check with

@@ -82,6 +82,10 @@ type NodeEvent struct {
 	Materialized bool
 	// Bytes is the serialized size when known at emission time.
 	Bytes int64
+	// Fused reports that the node executed as a member of a streaming
+	// fused run: its Seconds are an even share of the unit's measured
+	// wall time, and interior members retire without a value of their own.
+	Fused bool
 }
 
 func (NodeEvent) event() {}
@@ -150,7 +154,7 @@ func (em *emitter) plan(p *plan.Plan, planTime time.Duration) {
 
 // node emits one node lifecycle event. Scalar arguments keep the call
 // sites allocation-free when the emitter is nil.
-func (em *emitter) node(name string, phase NodePhase, state core.State, secs float64, materialized bool, bytes int64) {
+func (em *emitter) node(name string, phase NodePhase, state core.State, secs float64, materialized bool, bytes int64, fused bool) {
 	if em == nil {
 		return
 	}
@@ -162,6 +166,7 @@ func (em *emitter) node(name string, phase NodePhase, state core.State, secs flo
 		Seconds:      secs,
 		Materialized: materialized,
 		Bytes:        bytes,
+		Fused:        fused,
 	})
 }
 

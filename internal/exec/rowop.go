@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"iter"
+)
+
+// RowOp is the per-row implementation of a streamable operator: a unary
+// row-wise transformation (map / flatMap / filter) expressed as untyped
+// closures over the operator's element type. The DSL's streaming helpers
+// construct one per declared operator and register it in Program.Rows;
+// the planner then fuses linear chains of such operators (plan.Fused)
+// and the engine executes a fused run as a single scheduled unit with
+// per-element pull — only the chain's tail value is ever built.
+//
+// The same RowOp also backs the operator's ordinary batch execution
+// (RunRowOp), so streaming-on and streaming-off runs share one
+// implementation and produce byte-identical values.
+type RowOp struct {
+	// Seq returns a pull iterator over the rows of the operator's single
+	// input value. Only the chain head's Seq runs — interior inputs are
+	// never built. An error means the value had an unexpected type.
+	Seq func(v any) (iter.Seq[any], error)
+	// Apply transforms one row into zero or more rows via emit: a map
+	// emits once, a filter zero or one time, a flatMap any number. emit
+	// reports whether the consumer wants more rows; Apply must stop
+	// emitting (and return nil) once it returns false.
+	Apply func(row any, emit func(any) bool) error
+	// Build assembles the operator's output value from the transformed
+	// row stream. Only the chain tail's Build runs.
+	Build func(rows iter.Seq[any]) (any, error)
+}
+
+// rowCheckInterval is how many pipeline rows pass between context
+// checks: frequent enough that mid-run cancellation lands promptly, rare
+// enough to stay invisible next to per-row work.
+const rowCheckInterval = 1024
+
+// runRowOps drives a fused chain over the head's single input value:
+// head.Seq pulls input rows, every member's Apply runs per element, and
+// tail.Build assembles the only value the chain ever constructs. A nil
+// error pointer result travels back through errp-style capture because
+// iter.Seq yields carry no error channel.
+func runRowOps(ctx context.Context, ops []*RowOp, input any) (any, error) {
+	seq, err := ops[0].Seq(input)
+	if err != nil {
+		return nil, err
+	}
+	var pipeErr error
+	cur := checkedSeq(ctx, seq, &pipeErr)
+	for _, op := range ops {
+		cur = applySeq(op, cur, &pipeErr)
+	}
+	out, err := ops[len(ops)-1].Build(cur)
+	if pipeErr != nil {
+		return nil, pipeErr
+	}
+	return out, err
+}
+
+// RunRowOp executes one streamable operator in ordinary batch mode —
+// the operator's OpFunc when it is not part of a fused run. Sharing the
+// Seq/Apply/Build path with runRowOps is what guarantees streaming-on
+// and streaming-off produce identical values.
+func RunRowOp(ctx context.Context, op *RowOp, inputs []any) (any, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("exec: streamable operator expects 1 input, got %d", len(inputs))
+	}
+	return runRowOps(ctx, []*RowOp{op}, inputs[0])
+}
+
+// checkedSeq passes rows through while polling ctx every
+// rowCheckInterval rows, so a canceled run stops mid-stream instead of
+// draining a large input first.
+func checkedSeq(ctx context.Context, in iter.Seq[any], errp *error) iter.Seq[any] {
+	return func(yield func(any) bool) {
+		n := 0
+		for v := range in {
+			if n++; n%rowCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					*errp = err
+					return
+				}
+			}
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
+
+// applySeq lifts one RowOp's Apply into a lazy sequence stage,
+// short-circuiting the pipeline on the first row error.
+func applySeq(op *RowOp, in iter.Seq[any], errp *error) iter.Seq[any] {
+	return func(yield func(any) bool) {
+		stopped := false
+		for row := range in {
+			if *errp != nil {
+				return
+			}
+			if err := op.Apply(row, func(out any) bool {
+				if !yield(out) {
+					stopped = true
+					return false
+				}
+				return true
+			}); err != nil {
+				if *errp == nil {
+					*errp = err
+				}
+				return
+			}
+			if stopped {
+				return
+			}
+		}
+	}
+}

@@ -15,7 +15,7 @@ import (
 )
 
 func init() {
-	store.Register([]float64(nil))
+	store.RegisterValueType([]float64(nil))
 }
 
 // chainProgram builds a linear chain of n nodes, each sleeping compute

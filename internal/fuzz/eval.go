@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"math"
 
 	"helix"
 )
@@ -60,6 +61,70 @@ func EvalNode(name string, op, param int, inputs [][]float64) []float64 {
 // busyIters maps the opcode to its busy-work weight.
 func busyIters(op int) int { return (((op % 4) + 4) % 4) * 400000 }
 
+// streamNode reports whether a spec executes as a streaming row-wise
+// operator. The guards mirror what the engine can fuse (one parent,
+// deterministic); anything else falls back to the batch Kind — in
+// BuildWorkflow and Reference alike, so shrunk or hand-edited cases
+// remain self-consistent.
+func streamNode(ns NodeSpec) bool {
+	if ns.Nondet || len(ns.Parents) != 1 {
+		return false
+	}
+	switch ns.Stream {
+	case "map", "filter", "flatmap":
+		return true
+	}
+	return false
+}
+
+// streamConsts derives a streaming operator's per-row transform
+// constants from (name, op, param) — the same inputs that parameterize
+// EvalNode, so a param bump deprecates a streaming node exactly like a
+// batch one.
+func streamConsts(name string, op, param int) (a, b float64) {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := h.Sum64() ^ uint64(int64(op))*0x9E3779B97F4A7C15 ^ uint64(int64(param))*0xBF58476D1CE4E5B9
+	a = 0.75 + float64(x>>44)*1e-6
+	b = float64((x>>24)&0xFFFFF) * 1e-5
+	return a, b
+}
+
+// keepRow is the filter predicate: a deterministic ~70% keep rate over
+// the transformed row.
+func keepRow(x, a, b float64) bool {
+	_, frac := math.Modf(math.Abs(x*a + b))
+	return frac < 0.7
+}
+
+// flatWidth is a flatmap's expansion factor (1–3 rows per input row).
+func flatWidth(op int) int { return ((op%3)+3)%3 + 1 }
+
+// StreamEval is the reference semantics of one streaming operator over
+// its parent's full vector: the exact per-row arithmetic the workflow
+// closures in BuildWorkflow perform, applied eagerly. An empty input
+// yields nil, matching the engine's materialization boundary
+// byte-for-byte under encoding.
+func StreamEval(name, stream string, op, param int, in []float64) []float64 {
+	a, b := streamConsts(name, op, param)
+	var out []float64
+	for _, x := range in {
+		switch stream {
+		case "map":
+			out = append(out, x*a+b)
+		case "filter":
+			if keepRow(x, a, b) {
+				out = append(out, x)
+			}
+		case "flatmap":
+			for j := 0; j < flatWidth(op); j++ {
+				out = append(out, x*a+b*float64(j))
+			}
+		}
+	}
+	return out
+}
+
 // BuildWorkflow lowers a node list into a helix Workflow whose operator
 // bodies all call EvalNode. Parents must precede children in the list
 // (applyEdits and the generator maintain this).
@@ -86,6 +151,37 @@ func BuildWorkflow(name string, nodes []NodeSpec) (*helix.Workflow, error) {
 			parents[i] = parent
 		}
 		params := fmt.Sprintf("op=%d v=%d", ns.Op, ns.Param)
+		if streamNode(spec) {
+			// Streaming declaration: the per-row closures perform the
+			// exact arithmetic StreamEval applies eagerly in the
+			// reference evaluator.
+			params += " stream=" + spec.Stream
+			a, b := streamConsts(spec.Name, spec.Op, spec.Param)
+			var op *helix.Op
+			switch spec.Stream {
+			case "map":
+				op = helix.MapRows(wf, spec.Name, params,
+					func(x float64) float64 { return x*a + b }, parents[0])
+			case "filter":
+				op = helix.FilterRows(wf, spec.Name, params,
+					func(x float64) bool { return keepRow(x, a, b) }, parents[0])
+			case "flatmap":
+				w := flatWidth(spec.Op)
+				op = helix.FlatMapRows(wf, spec.Name, params,
+					func(x float64) []float64 {
+						out := make([]float64, w)
+						for j := range out {
+							out[j] = x*a + b*float64(j)
+						}
+						return out
+					}, parents[0])
+			}
+			if spec.Output {
+				op.IsOutput()
+			}
+			ops[spec.Name] = op
+			continue
+		}
 		var op *helix.Op
 		switch ns.Kind {
 		case "source":
@@ -130,11 +226,16 @@ func Reference(nodes []NodeSpec) map[string][]float64 {
 			return v
 		}
 		ns := byName[name]
-		ins := make([][]float64, len(ns.Parents))
-		for i, p := range ns.Parents {
-			ins[i] = eval(p)
+		var v []float64
+		if streamNode(ns) {
+			v = StreamEval(ns.Name, ns.Stream, ns.Op, ns.Param, eval(ns.Parents[0]))
+		} else {
+			ins := make([][]float64, len(ns.Parents))
+			for i, p := range ns.Parents {
+				ins[i] = eval(p)
+			}
+			v = EvalNode(ns.Name, ns.Op, ns.Param, ins)
 		}
-		v := EvalNode(ns.Name, ns.Op, ns.Param, ins)
 		memo[name] = v
 		return v
 	}

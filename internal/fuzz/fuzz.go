@@ -4,7 +4,7 @@
 // configurations, each executed through a real Session and cross-checked
 // against independent oracles.
 //
-// Five invariants are enforced on every generated case:
+// Eight invariants are enforced on every generated case:
 //
 //  1. Plan-cache transparency — a session planning through the
 //     fingerprint cache produces byte-for-byte the same output values as
@@ -25,9 +25,23 @@
 //     materializations (which bypass Algorithm 2 by design), never
 //     exceed the configured budget plus the credit released by purged
 //     mandatory entries.
+//  6. Restart consistency — closing every session mid-sequence and
+//     reopening on the same directories preserves the iteration counter
+//     and the per-iteration history records (introspection survives a
+//     process restart), and subsequent iterations still satisfy every
+//     other invariant. Mid-run context cancellation must fail the run
+//     with a cancellation error, leave the session usable, and never
+//     advance the iteration counter.
+//  7. Streaming transparency — a session executing fused streaming
+//     runs produces byte-for-byte the same output values as a
+//     WithStreaming(false) session running every operator in batch.
+//  8. Codec transparency — a session storing artifacts with the binary
+//     columnar codec produces byte-for-byte the same output values as a
+//     WithCodec(CodecGob) session.
 //
 // A failing case is shrunk to a local minimum (dropping iterations,
-// edits, and DAG nodes while the same invariant still fails), reported
+// edits, restarts, cancellations, and DAG nodes while the same
+// invariant still fails), reported
 // with its generating seed, and written as JSON into a corpus directory
 // so it can be replayed as a regression test (testdata/fuzz at the repo
 // root). Everything is reproducible: Generate is a pure function of the
@@ -50,6 +64,12 @@ type NodeSpec struct {
 	Param   int      `json:"param"` // tunable parameter; bumping it deprecates the node
 	Output  bool     `json:"output,omitempty"`
 	Nondet  bool     `json:"nondet,omitempty"`
+	// Stream declares a row-wise streaming operator: "map", "filter", or
+	// "flatmap". Effective only with exactly one parent and Nondet false
+	// (fusion requires determinism); otherwise the node falls back to its
+	// batch Kind — deterministically, in BuildWorkflow and Reference
+	// alike, so shrunk or hand-edited cases stay self-consistent.
+	Stream string `json:"stream,omitempty"`
 }
 
 // Edit is one mutation applied to the workflow at the start of an
@@ -79,11 +99,24 @@ type Case struct {
 	Config Config     `json:"config"`
 	Base   []NodeSpec `json:"base"`
 	Iters  [][]Edit   `json:"iters"`
+	// Restarts lists iteration indices before which every sibling
+	// session is closed and reopened on its directory, exercising
+	// persisted-state resumption mid-sequence. Out-of-range entries are
+	// inert (shrinking may truncate Iters).
+	Restarts []int `json:"restarts,omitempty"`
+	// Cancels lists iteration indices at which the subject first
+	// attempts the run under a context canceled mid-flight (on the first
+	// node lifecycle event). A run that fails must leave the session
+	// usable; one that outruns the cancellation counts as the
+	// iteration's run.
+	Cancels []int `json:"cancels,omitempty"`
 }
 
 // clone deep-copies the case so shrink candidates never alias.
 func (c *Case) clone() *Case {
 	out := &Case{Seed: c.Seed, Config: c.Config}
+	out.Restarts = append([]int(nil), c.Restarts...)
+	out.Cancels = append([]int(nil), c.Cancels...)
 	out.Base = cloneSpecs(c.Base)
 	out.Iters = make([][]Edit, len(c.Iters))
 	for i, edits := range c.Iters {
@@ -100,9 +133,10 @@ func (c *Case) clone() *Case {
 	return out
 }
 
-// size is the shrink metric: total declared nodes plus edits.
+// size is the shrink metric: total declared nodes plus edits plus
+// restart/cancel injections.
 func (c *Case) size() int {
-	n := len(c.Base)
+	n := len(c.Base) + len(c.Restarts) + len(c.Cancels)
 	for _, edits := range c.Iters {
 		n += len(edits)
 	}
@@ -202,11 +236,13 @@ func applyEdits(nodes []NodeSpec, edits []Edit) []NodeSpec {
 
 // Generate derives a complete Case from a seed: DAG shape (chain,
 // layered fan-out, diamond, or two disconnected components), operator
-// mix with ~15% nondeterministic nodes, 2–6 iterations of edits with
-// ~40% deliberate no-op iterations (consecutive quiet iterations are
-// what drives the plan cache to full fingerprint hits), and a
-// configuration drawn from policy × budget × parallelism ×
-// materialization mode.
+// mix with ~15% nondeterministic nodes and a biased sprinkling of
+// streaming row-wise operators (biased to chain so fusible runs of ≥ 2
+// appear), 2–6 iterations of edits with ~40% deliberate no-op
+// iterations (consecutive quiet iterations are what drives the plan
+// cache to full fingerprint hits), mid-sequence session restarts and
+// mid-run cancellations, and a configuration drawn from policy × budget
+// × parallelism × materialization mode.
 func Generate(seed int64) *Case {
 	rng := rand.New(rand.NewSource(seed))
 	c := &Case{Seed: seed, Config: genConfig(rng)}
@@ -225,6 +261,12 @@ func Generate(seed int64) *Case {
 			}
 		}
 		c.Iters = append(c.Iters, edits)
+	}
+	if rng.Float64() < 0.30 {
+		c.Restarts = []int{rng.Intn(iters)}
+	}
+	if rng.Float64() < 0.25 {
+		c.Cancels = []int{rng.Intn(iters)}
 	}
 	return c
 }
@@ -271,6 +313,15 @@ func genDAG(rng *rand.Rand) []NodeSpec {
 			ns.Kind = pickKind(rng)
 			ns.Parents = pickParents(rng, shape, i, second)
 			ns.Nondet = rng.Float64() < 0.15
+			// Streaming nodes, biased to extend an existing streaming
+			// parent so generated DAGs contain fusible runs of length ≥ 2.
+			p := 0.25
+			if j := findSpec(nodes, ns.Parents[0]); j >= 0 && nodes[j].Stream != "" {
+				p = 0.60
+			}
+			if rng.Float64() < p {
+				makeStream(rng, &ns)
+			}
 		}
 		nodes = append(nodes, ns)
 	}
@@ -288,6 +339,21 @@ func genDAG(rng *rand.Rand) []NodeSpec {
 		nodes[len(nodes)-1].Output = true
 	}
 	return nodes
+}
+
+// makeStream turns a drafted node into a streaming row-wise operator:
+// exactly one parent, deterministic, with the batch Kind matched to the
+// streaming declaration (extractor for map/filter, scanner for flatmap)
+// for the fallback path.
+func makeStream(rng *rand.Rand, ns *NodeSpec) {
+	ns.Parents = ns.Parents[:1]
+	ns.Nondet = false
+	ns.Stream = []string{"map", "filter", "flatmap"}[rng.Intn(3)]
+	if ns.Stream == "flatmap" {
+		ns.Kind = "scanner"
+	} else {
+		ns.Kind = "extractor"
+	}
 }
 
 func pickKind(rng *rand.Rand) string {
@@ -374,6 +440,9 @@ func genEdit(rng *rand.Rand, cur []NodeSpec, added *int) Edit {
 			ns.Parents = append(ns.Parents, cur[rng.Intn(len(cur))].Name)
 		}
 		ns.Parents = dedupe(ns.Parents)
+		if rng.Float64() < 0.3 {
+			makeStream(rng, &ns)
+		}
 		return Edit{Op: "add", Add: &ns}
 	case p < 0.82:
 		return Edit{Op: "toggle", Node: cur[rng.Intn(len(cur))].Name}

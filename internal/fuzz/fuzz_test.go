@@ -89,8 +89,51 @@ func TestDirectedChainCoverage(t *testing.T) {
 	}
 }
 
+// streamChainCase is the directed streaming scenario: a fusible chain of
+// three row-wise operators between batch endpoints, run through five
+// iterations with a mid-sequence restart before iteration 2 and a
+// cancellation attempt during iteration 3. It deterministically exercises
+// invariants 6 (restart history, cancellation behavior), 7 (streaming ≡
+// batch), and 8 (binary codec ≡ gob).
+func streamChainCase() *Case {
+	return &Case{
+		Seed:   2,
+		Config: Config{Policy: "always", Parallelism: 2},
+		Base: []NodeSpec{
+			{Name: "n0", Kind: "source", Op: 3, Param: 1},
+			{Name: "s1", Kind: "extractor", Parents: []string{"n0"}, Op: 2, Param: 1, Stream: "map"},
+			{Name: "s2", Kind: "extractor", Parents: []string{"s1"}, Op: 1, Param: 1, Stream: "filter"},
+			{Name: "s3", Kind: "scanner", Parents: []string{"s2"}, Op: 4, Param: 1, Stream: "flatmap"},
+			{Name: "n4", Kind: "reducer", Parents: []string{"s3"}, Op: 3, Param: 1, Output: true},
+		},
+		Iters: [][]Edit{
+			{}, {}, {},
+			{{Op: "bump", Node: "s2"}},
+			{},
+		},
+		Restarts: []int{2},
+		Cancels:  []int{3},
+	}
+}
+
+// TestDirectedStreamRestartCancel runs the streaming chain with a
+// scheduled restart and cancellation and asserts both actually happened.
+func TestDirectedStreamRestartCancel(t *testing.T) {
+	stats := &Stats{}
+	v, err := RunCase(context.Background(), t.TempDir(), streamChainCase(), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("directed streaming case violated an invariant: %s", v)
+	}
+	if stats.Restarts != 1 || stats.Cancels != 1 {
+		t.Fatalf("restarts=%d cancels=%d, want 1 each", stats.Restarts, stats.Cancels)
+	}
+}
+
 // TestFuzzSmoke is the CI smoke budget's little sibling: a few dozen
-// random cases through the full five-invariant harness. The dedicated
+// random cases through the full eight-invariant harness. The dedicated
 // fuzz-smoke CI job runs the same harness at ≥200 cases via
 // cmd/helixfuzz.
 func TestFuzzSmoke(t *testing.T) {
@@ -106,10 +149,14 @@ func TestFuzzSmoke(t *testing.T) {
 	if f != nil {
 		t.Fatalf("fuzz failure: %s\nminimized case: %+v", f, f.Minimized)
 	}
-	t.Logf("coverage: %d cases, %d iterations, %d cold / %d partial / %d full-hit plans",
-		stats.Cases, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits)
+	t.Logf("coverage: %d cases, %d iterations, %d cold / %d partial / %d full-hit plans, %d restarts, %d cancels (%d aborted)",
+		stats.Cases, stats.Iterations, stats.ColdPlans, stats.Partial, stats.FullHits,
+		stats.Restarts, stats.Cancels, stats.CancelAborted)
 	if stats.Partial == 0 {
 		t.Error("smoke run never exercised a partial plan-cache hit")
+	}
+	if !testing.Short() && stats.Restarts == 0 && stats.Cancels == 0 {
+		t.Error("smoke run never scheduled a restart or a cancellation")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -33,6 +34,13 @@ type Stats struct {
 	ColdPlans  int
 	Partial    int
 	FullHits   int
+	// Restarts counts mid-sequence close/reopen cycles executed;
+	// Cancels counts mid-run cancellation attempts, of which
+	// CancelAborted actually aborted the run (the rest outran the
+	// cancellation).
+	Restarts      int
+	Cancels       int
+	CancelAborted int
 }
 
 // options lowers the case configuration to session options.
@@ -69,35 +77,62 @@ func (c Config) options() ([]helix.Option, error) {
 const oracleThreshold = 2.000001
 
 // RunCase executes one fuzz case end to end and checks every invariant
-// at every iteration. Three sibling sessions run the same workflow
-// sequence — the subject (plan cache on, critical-path scheduling), a
-// cache-off oracle, and a FIFO-scheduled oracle — and a from-scratch
-// reference evaluation provides ground-truth values. The returned
-// Violation is nil when every invariant held; err reports harness
-// infrastructure failures only. stats may be nil.
+// at every iteration. Five sibling sessions run the same workflow
+// sequence — the subject (plan cache on, critical-path scheduling,
+// streaming fused execution, binary codec), a cache-off oracle, a
+// FIFO-scheduled oracle, a streaming-off oracle, and a gob-codec
+// oracle — and a from-scratch reference evaluation provides
+// ground-truth values. The case may also schedule mid-sequence restarts
+// (every session closed and reopened) and mid-run cancellations of the
+// subject. The returned Violation is nil when every invariant held; err
+// reports harness infrastructure failures only. stats may be nil.
 func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation, error) {
 	baseOpts, err := c.Config.options()
 	if err != nil {
 		return nil, err
 	}
-	open := func(sub string, extra ...helix.Option) (*helix.Session, error) {
-		return helix.Open(filepath.Join(dir, sub), append(append([]helix.Option{}, baseOpts...), extra...)...)
+	siblings := []struct {
+		sub   string
+		extra []helix.Option
+	}{
+		{"subject", nil},
+		{"cacheoff", []helix.Option{helix.WithPlanCache(helix.PlanCacheOff)}},
+		{"fifo", []helix.Option{helix.WithScheduler(helix.SchedFIFO)}},
+		{"streamoff", []helix.Option{helix.WithStreaming(false)}},
+		{"gob", []helix.Option{helix.WithCodec(helix.CodecGob)}},
 	}
-	subject, err := open("subject")
-	if err != nil {
+	sess := make([]*helix.Session, len(siblings))
+	openAll := func() error {
+		for i, sib := range siblings {
+			s, err := helix.Open(filepath.Join(dir, sib.sub),
+				append(append([]helix.Option{}, baseOpts...), sib.extra...)...)
+			if err != nil {
+				return err
+			}
+			sess[i] = s
+		}
+		return nil
+	}
+	closeAll := func() error {
+		var first error
+		for i, s := range sess {
+			if s == nil {
+				continue
+			}
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+			sess[i] = nil
+		}
+		return first
+	}
+	if err := openAll(); err != nil {
+		closeAll()
 		return nil, err
 	}
-	defer subject.Close()
-	cacheOff, err := open("cacheoff", helix.WithPlanCache(helix.PlanCacheOff))
-	if err != nil {
-		return nil, err
-	}
-	defer cacheOff.Close()
-	fifo, err := open("fifo", helix.WithScheduler(helix.SchedFIFO))
-	if err != nil {
-		return nil, err
-	}
-	defer fifo.Close()
+	defer closeAll()
+	restarts := indexSet(c.Restarts)
+	cancels := indexSet(c.Cancels)
 
 	if stats != nil {
 		stats.Cases++
@@ -121,6 +156,42 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 			return &Violation{Invariant: inv, Iteration: it, Detail: fmt.Sprintf(format, args...)}
 		}
 
+		// Invariant 6 (restart consistency): close every sibling and
+		// reopen on the same directories. The iteration counter and the
+		// per-iteration history must survive the round trip.
+		if restarts[it] {
+			pre := sess[0].History()
+			preIter := sess[0].Iteration()
+			if err := closeAll(); err != nil {
+				return nil, err
+			}
+			if err := openAll(); err != nil {
+				return nil, err
+			}
+			if stats != nil {
+				stats.Restarts++
+			}
+			if got := sess[0].Iteration(); got != preIter {
+				return viol("restart-history", "iteration counter %d after restart, want %d", got, preIter), nil
+			}
+			post := sess[0].History()
+			if len(post) != len(pre) || len(post) != it {
+				return viol("restart-history", "history has %d records after restart, want %d (iterations run: %d)",
+					len(post), len(pre), it), nil
+			}
+			for i := range post {
+				if post[i].Iteration != i || post[i].Iteration != pre[i].Iteration ||
+					post[i].WorkflowName != pre[i].WorkflowName ||
+					post[i].StorageBytes != pre[i].StorageBytes {
+					return viol("restart-history",
+						"history record %d diverged across restart: {iter:%d wf:%q bytes:%d} vs {iter:%d wf:%q bytes:%d}",
+						i, post[i].Iteration, post[i].WorkflowName, post[i].StorageBytes,
+						pre[i].Iteration, pre[i].WorkflowName, pre[i].StorageBytes), nil
+				}
+			}
+		}
+		subject, cacheOff, fifo, streamOff, gobSess := sess[0], sess[1], sess[2], sess[3], sess[4]
+
 		// Invariant-4 oracle: a fresh cold solve against the subject's
 		// current state, taken BEFORE the run so both see the same
 		// previous-iteration DAG, carried statistics, and store contents.
@@ -129,9 +200,54 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 			return viol("run-error", "oracle plan failed: %v", oerr), nil
 		}
 
-		res, err := subject.Run(ctx, wf)
-		if err != nil {
-			return viol("run-error", "subject run failed: %v", err), nil
+		var res *helix.Result
+		if cancels[it] {
+			// Invariant 6 (cancellation): run the subject under a context
+			// canceled on the first node lifecycle event. An aborted run
+			// must surface a cancellation error, leave the session usable,
+			// and not advance the iteration; a run that outruns the
+			// cancellation counts as this iteration's run (its plan was
+			// solved against the same state the oracle saw).
+			if stats != nil {
+				stats.Cancels++
+			}
+			cctx, stop := context.WithCancel(ctx)
+			attempt, aerr := subject.Run(cctx, wf, helix.WithObserver(func(ev helix.RunEvent) {
+				if _, ok := ev.(helix.NodeEvent); ok {
+					stop()
+				}
+			}))
+			stop()
+			if aerr == nil {
+				res = attempt
+			} else {
+				if stats != nil {
+					stats.CancelAborted++
+				}
+				if !errors.Is(aerr, context.Canceled) {
+					return viol("cancel-error", "canceled run failed with non-cancellation error: %v", aerr), nil
+				}
+				if got := subject.Iteration(); got != it {
+					return viol("cancel-error", "aborted run advanced iteration counter to %d, want %d", got, it), nil
+				}
+				// The aborted attempt may have materialized retired nodes
+				// before the cancellation landed; re-solve the oracle over
+				// the store as the attempt left it so invariant 4 compares
+				// plans over identical state.
+				oracle, oerr = subject.Plan(wf, helix.WithOMPThreshold(oracleThreshold))
+				if oerr != nil {
+					return viol("run-error", "oracle re-plan after aborted run failed: %v", oerr), nil
+				}
+				res, err = subject.Run(ctx, wf)
+				if err != nil {
+					return viol("cancel-error", "run after aborted attempt failed: %v", err), nil
+				}
+			}
+		} else {
+			res, err = subject.Run(ctx, wf)
+			if err != nil {
+				return viol("run-error", "subject run failed: %v", err), nil
+			}
 		}
 		offRes, err := cacheOff.Run(ctx, wf)
 		if err != nil {
@@ -140,6 +256,14 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		fifoRes, err := fifo.Run(ctx, wf)
 		if err != nil {
 			return viol("run-error", "fifo run failed: %v", err), nil
+		}
+		streamRes, err := streamOff.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "streaming-off run failed: %v", err), nil
+		}
+		gobRes, err := gobSess.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "gob-codec run failed: %v", err), nil
 		}
 		if stats != nil {
 			stats.Iterations++
@@ -194,6 +318,21 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		for name := range ref {
 			if d := valueDiff(res.Values[name], fifoRes.Values[name]); d != "" {
 				return viol("sched-equivalence", "output %s: critical-path vs fifo: %s", name, d), nil
+			}
+		}
+		// Invariant 7: streaming transparency — fused row-wise execution
+		// produces the same bytes as batch execution of the same operators.
+		for name := range ref {
+			if d := valueDiff(res.Values[name], streamRes.Values[name]); d != "" {
+				return viol("stream-equivalence", "output %s: streaming vs batch: %s (subject plan %v)",
+					name, d, res.Plan.Cache), nil
+			}
+		}
+		// Invariant 8: codec transparency — values round-tripped through the
+		// binary codec equal values round-tripped through gob.
+		for name := range ref {
+			if d := valueDiff(res.Values[name], gobRes.Values[name]); d != "" {
+				return viol("codec-equivalence", "output %s: binary codec vs gob: %s", name, d), nil
 			}
 		}
 
@@ -261,6 +400,16 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		}
 	}
 	return nil, nil
+}
+
+// indexSet lowers an iteration-index list to a membership set;
+// out-of-range entries are inert by construction.
+func indexSet(ints []int) map[int]bool {
+	m := make(map[int]bool, len(ints))
+	for _, i := range ints {
+		m[i] = true
+	}
+	return m
 }
 
 // valueDiff compares two output values by their gob encoding (the same

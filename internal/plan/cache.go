@@ -141,8 +141,15 @@ func (c *Cache) hit(fp Fingerprint, in *planInputs) *Plan {
 		Purge:       cached.Purge,
 		Cache:       CacheHit,
 		Fingerprint: fp,
-		anc:         cached.anc,
-		ancWords:    cached.ancWords,
+		// Fused runs are positional (indices into Nodes), so they survive
+		// rebinding unchanged; the fingerprint covers streamable flags and
+		// the streaming option bit, so a hit guarantees the same fusion
+		// decision. Dropping them here would silently unfuse cache-hit
+		// iterations (and strand rows whose FuseGroup points nowhere).
+		Fused:     cached.Fused,
+		FusedSigs: cached.FusedSigs,
+		anc:       cached.anc,
+		ancWords:  cached.ancWords,
 	}
 	for s, n := range cached.Counts {
 		p.Counts[s] = n

@@ -26,6 +26,13 @@ func (p *Plan) Summary() string {
 	case CachePartial:
 		s += fmt.Sprintf("; plan cache partial [%s]: %d/%d decisions reused, dirty slice re-solved", p.Fingerprint, p.Reuses(), total)
 	}
+	if len(p.Fused) > 0 {
+		fusedNodes := 0
+		for _, g := range p.Fused {
+			fusedNodes += len(g)
+		}
+		s += fmt.Sprintf("; %d fused run(s) covering %d nodes", len(p.Fused), fusedNodes)
+	}
 	return s
 }
 
@@ -55,6 +62,21 @@ func (p *Plan) Explain() string {
 		// a freshly derived one.
 		if np.Reused {
 			why += " [reused]"
+		}
+		// Mark fused-run membership: the group index plus the member's
+		// role — interiors stream row-by-row and never build a value, the
+		// tail builds the run's single output. The merged signature's
+		// prefix ties the table to Plan.FusedSigs.
+		if np.FuseGroup >= 0 {
+			role := "interior"
+			g := p.Fused[np.FuseGroup]
+			if np.Index == g[0] {
+				role = "head"
+			}
+			if np.Index == g[len(g)-1] {
+				role = "tail"
+			}
+			why += fmt.Sprintf(" [fused #%d %s %s]", np.FuseGroup, role, p.FusedSigs[np.FuseGroup][:8])
 		}
 		fmt.Fprintf(&b, "%-22s %-4s %-5s %-4s %-4s %s %s %s  %s\n",
 			np.Node.Name, np.Node.Component, np.State, orig, mat,

@@ -37,14 +37,15 @@ func (f Fingerprint) String() string {
 // (comparable) form by the cache so a fingerprint mismatch can be
 // localized to the exact dirty nodes without re-hashing.
 type nodeKey struct {
-	name     string
-	chainSig string
-	kind     core.Kind
-	det      bool
-	live     bool
-	output   bool
-	original bool
-	costs    opt.Costs
+	name       string
+	chainSig   string
+	kind       core.Kind
+	det        bool
+	streamable bool
+	live       bool
+	output     bool
+	original   bool
+	costs      opt.Costs
 }
 
 // fingerprintInputs derives the per-node keys, the flattened parent-index
@@ -86,19 +87,21 @@ func fingerprintInputs(in *planInputs, opts Options, configToken string) ([]node
 	bit(opts.DisableReuse)
 	bit(opts.DisablePruning)
 	bit(opts.MaterializeOutputs)
+	bit(opts.Streaming)
 	u64(uint64(len(in.order)))
 	h.Write(buf)
 
 	for i, n := range in.order {
 		k := nodeKey{
-			name:     n.Name,
-			chainSig: n.ChainSignature(),
-			kind:     n.Kind,
-			det:      n.Deterministic,
-			live:     in.live[i],
-			output:   in.outputs[i],
-			original: in.originals[i],
-			costs:    in.costs[i], // zero value for non-live nodes
+			name:       n.Name,
+			chainSig:   n.ChainSignature(),
+			kind:       n.Kind,
+			det:        n.Deterministic,
+			streamable: n.Streamable,
+			live:       in.live[i],
+			output:     in.outputs[i],
+			original:   in.originals[i],
+			costs:      in.costs[i], // zero value for non-live nodes
 		}
 		keys[i] = k
 
@@ -111,6 +114,7 @@ func fingerprintInputs(in *planInputs, opts Options, configToken string) ([]node
 		str(sig)
 		u64(uint64(k.kind))
 		bit(k.det)
+		bit(k.streamable)
 		bit(k.live)
 		bit(k.output)
 		bit(k.original)

@@ -33,6 +33,8 @@
 package plan
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"math/bits"
@@ -67,6 +69,13 @@ type Options struct {
 	// materialization regardless of the runtime policy (the paper's
 	// "mandatory output" drums in Figure 3).
 	MaterializeOutputs bool
+	// Streaming enables operator fusion: maximal linear runs of live,
+	// deterministic, streamable compute nodes are grouped into fused runs
+	// (Plan.Fused) the engine executes as single scheduled units with
+	// per-element pull, never building the interior collections. Off in
+	// the zero value; the engine enables it unless the caller opted out
+	// (helix.WithStreaming(false)).
+	Streaming bool
 }
 
 // NodePlan is one node's planned treatment plus everything the decision
@@ -112,6 +121,10 @@ type NodePlan struct {
 	// previous iteration's plan (full fingerprint hit, or a clean
 	// component of a partial hit) rather than re-derived by the solver.
 	Reused bool
+	// FuseGroup is the index into Plan.Fused of the fused run this node
+	// belongs to, or -1. Within a group, only the last member's value is
+	// ever built; the engine schedules the whole run as one unit.
+	FuseGroup int
 	// Rationale states, in one phrase, why the solver assigned State.
 	Rationale string
 }
@@ -150,6 +163,18 @@ type Plan struct {
 	// partial re-solve of dirty components, or a wholesale reuse of the
 	// previous iteration's plan.
 	Cache CacheOutcome
+	// Fused lists the plan's fused runs (Options.Streaming): each entry is
+	// ≥2 Plan.Nodes indices forming a linear chain of streamable compute
+	// nodes the engine executes as one unit with per-element pull. Interior
+	// members' values are never built, so every member but the last is
+	// non-output, non-mandatory, and feeds no compute node outside the run.
+	Fused [][]int
+	// FusedSigs holds one merged signature per Fused entry — a hash over
+	// the members' chain signatures, identifying the fused unit the way a
+	// chain signature identifies a single operator. The tail's own chain
+	// signature (unchanged by fusion) still keys its materialization, so
+	// cross-iteration reuse is untouched.
+	FusedSigs []string
 	// Fingerprint is the stable hash of every planning input this plan
 	// was derived from; two Plan calls with equal fingerprints are
 	// guaranteed to produce equivalent plans.
@@ -600,5 +625,84 @@ func (pl *Planner) assemble(in *planInputs, states map[*core.Node]core.State, an
 		}
 		np.ProjectedTail = own[i] + best
 	}
+	p.computeFusion(in, pl.Opts.Streaming)
 	return p
+}
+
+// computeFusion marks the plan's fused runs (Options.Streaming): maximal
+// linear chains of ≥2 live, deterministic, streamable, compute-state
+// nodes, where each member past the first has the previous member as its
+// sole parent, and each member but the last is non-output, carries no
+// mandatory materialization, and feeds exactly one compute-state node —
+// the next member. Those conditions are what make it safe never to build
+// the interior values: pruned children never run, load-state children
+// read disk, and the tail's value (the only one built) serves outputs,
+// the policy, and cross-iteration reuse under its unchanged chain
+// signature. Fusion is a pure function of the plan's states plus the
+// DAG's streamable flags, both of which the fingerprint covers, so
+// cached plans carry their groups soundly.
+func (p *Plan) computeFusion(in *planInputs, streaming bool) {
+	p.Fused = nil
+	p.FusedSigs = nil
+	for _, np := range p.Nodes {
+		np.FuseGroup = -1
+	}
+	if !streaming {
+		return
+	}
+	member := func(i int) bool {
+		np := p.Nodes[i]
+		return np.Live && np.State == core.StateCompute && np.Node.Streamable &&
+			np.Node.Deterministic && len(np.Node.Parents()) == 1 && np.FuseGroup < 0
+	}
+	// nextMember returns the index of i's unique compute-state child, or
+	// -1 when i cannot be an interior (output, mandatory mat, or not
+	// exactly one compute consumer).
+	nextMember := func(i int) int {
+		np := p.Nodes[i]
+		if np.Output || np.MandatoryMat {
+			return -1
+		}
+		next := -1
+		for _, c := range np.Node.Children() {
+			ci := in.idx(c)
+			if p.Nodes[ci].State != core.StateCompute {
+				continue
+			}
+			if next != -1 {
+				return -1
+			}
+			next = ci
+		}
+		return next
+	}
+	for i := range p.Nodes {
+		if !member(i) {
+			continue
+		}
+		// Don't start a chain mid-run: if i's sole parent would itself
+		// extend into i, the scan from that parent (a smaller topological
+		// index) already claimed it, so a fresh chain here is genuinely
+		// maximal.
+		chain := []int{i}
+		for {
+			next := nextMember(chain[len(chain)-1])
+			if next < 0 || !member(next) {
+				break
+			}
+			chain = append(chain, next)
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		g := len(p.Fused)
+		h := sha256.New()
+		for _, j := range chain {
+			p.Nodes[j].FuseGroup = g
+			h.Write([]byte(p.Nodes[j].Node.ChainSignature()))
+			h.Write([]byte{0})
+		}
+		p.Fused = append(p.Fused, chain)
+		p.FusedSigs = append(p.FusedSigs, hex.EncodeToString(h.Sum(nil)))
+	}
 }

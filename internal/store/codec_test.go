@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/codec golden fixtures")
+
+// migrationRecord is a struct the binary codec has no native tag for: it
+// rides the gob escape hatch, exercising tagGob in the fixtures.
+type migrationRecord struct {
+	Label string
+	Score float64
+	Tags  []string
+}
+
+func init() {
+	RegisterValueType(migrationRecord{})
+	// The gob side of the cross-codec tests needs every composite fixture
+	// type registered; the binary codec handles them natively.
+	RegisterValueType([]byte(nil))
+	RegisterValueType([]int(nil))
+	RegisterValueType([]int64(nil))
+	RegisterValueType([]float64(nil))
+	RegisterValueType([]string(nil))
+	RegisterValueType([]bool(nil))
+	RegisterValueType([][]float64(nil))
+	RegisterValueType([][]string(nil))
+	RegisterValueType(map[string]float64(nil))
+}
+
+// goldenValues is the fixture set: one entry per value tag, with repeated
+// strings so the intern table's back-references are pinned too. The
+// names double as fixture file names under testdata/codec.
+func goldenValues() []struct {
+	name  string
+	value any
+} {
+	return []struct {
+		name  string
+		value any
+	}{
+		{"nil", nil},
+		{"bool", true},
+		{"int", -42},
+		{"int64", int64(1 << 40)},
+		{"float64", 3.141592653589793},
+		{"string", "hello, census"},
+		{"bytes", []byte{0x00, 0xff, 0x10, 0x20}},
+		{"ints", []int{0, -1, 1, 1 << 20, -(1 << 20)}},
+		{"int64s", []int64{0, 127, 128, -129, 1 << 33}},
+		{"float64s", []float64{0, 1.5, -2.25, 1e300, -1e-300}},
+		{"strings", []string{"alpha", "beta", "alpha", "alpha", "gamma", "beta"}},
+		{"bools", []bool{true, false, true, true, false, false, true, true, false}},
+		{"floatmat", [][]float64{{1, 2, 3}, nil, {4.5}, {6, 7}}},
+		{"strmat", [][]string{{"x", "y"}, {"x"}, nil, {"y", "y", "z"}}},
+		{"mapsf", map[string]float64{"age": 39, "hours": 40.5, "wage": 0}},
+		{"gob", migrationRecord{Label: ">50K", Score: 0.87, Tags: []string{"a", "b"}}},
+	}
+}
+
+// TestGoldenFixtures pins the on-disk binary format: every committed
+// fixture must decode to its expected value, and re-encoding the value
+// must reproduce the committed bytes exactly. A deliberate format change
+// regenerates the fixtures with `go test ./internal/store -run Golden
+// -update` — and must bump the version byte if old payloads no longer
+// decode.
+func TestGoldenFixtures(t *testing.T) {
+	dir := filepath.Join("testdata", "codec")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	codec := BinaryCodec{}
+	for _, g := range goldenValues() {
+		t.Run(g.name, func(t *testing.T) {
+			enc, err := codec.Encode(g.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, g.name+".bin")
+			if *updateGolden {
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with -update to regenerate): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Errorf("encoding drifted from committed fixture: got %d bytes %x..., want %d bytes %x...",
+					len(enc), enc[:min(16, len(enc))], len(want), want[:min(16, len(want))])
+			}
+			dec, err := codec.Decode(want)
+			if err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			if !reflect.DeepEqual(dec, g.value) {
+				t.Errorf("fixture decoded to %#v, want %#v", dec, g.value)
+			}
+		})
+	}
+}
+
+// TestCodecRoundTripEquivalence: both codecs round-trip every fixture
+// value, and cross-decoding works both ways — the binary codec reads
+// legacy gob artifacts (in-place store migration) and the gob codec
+// sniffs binary headers (switching back never strands artifacts).
+func TestCodecRoundTripEquivalence(t *testing.T) {
+	codecs := []Codec{BinaryCodec{}, GobCodec{}}
+	for _, g := range goldenValues() {
+		for _, encC := range codecs {
+			for _, decC := range codecs {
+				enc, err := encC.Encode(g.value)
+				if err != nil {
+					t.Fatalf("%s: %s encode: %v", g.name, encC.Name(), err)
+				}
+				dec, err := decC.Decode(enc)
+				if err != nil {
+					t.Fatalf("%s: %s→%s decode: %v", g.name, encC.Name(), decC.Name(), err)
+				}
+				if !reflect.DeepEqual(dec, g.value) {
+					t.Errorf("%s: %s→%s round trip: got %#v, want %#v",
+						g.name, encC.Name(), decC.Name(), dec, g.value)
+				}
+			}
+		}
+	}
+}
+
+// TestLegacyGobStoreMigrates writes artifacts with a gob-codec store and
+// reopens the directory under the default binary codec: every entry must
+// load (the decode path sniffs per artifact), and newly materialized
+// values land in the new format without any rewrite step.
+func TestLegacyGobStoreMigrates(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.Codec = GobCodec{}
+	want := []float64{1, 2, 3.5}
+	if _, err := old.Put("sig-legacy", "legacy", want, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	migrated, err := Open(dir) // nil Codec → default binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := migrated.Get("sig-legacy")
+	if err != nil {
+		t.Fatalf("binary-codec store failed to load gob artifact: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated artifact = %#v, want %#v", got, want)
+	}
+	if _, err := migrated.Put("sig-new", "new", want, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(migrated.path("sig-new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasBinaryHeader(data) {
+		t.Fatal("new artifact in migrated store lacks the binary header")
+	}
+}
+
+// TestDecodeCorruptPayloads: corrupt headers and truncated payloads must
+// surface as errors — never panics, never silent garbage.
+func TestDecodeCorruptPayloads(t *testing.T) {
+	codec := BinaryCodec{}
+	full, err := codec.Encode([]string{"alpha", "beta", "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad-version", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[4] = 0x7f
+		if _, err := codec.Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("decode = %v, want unsupported-version error", err)
+		}
+	})
+	t.Run("unknown-tag", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		bad[5] = 0xee
+		if _, err := codec.Decode(bad); err == nil || !strings.Contains(err.Error(), "tag") {
+			t.Fatalf("decode = %v, want unknown-tag error", err)
+		}
+	})
+	t.Run("not-binary-not-gob", func(t *testing.T) {
+		if _, err := codec.Decode([]byte("csv,not,an,artifact\n")); err == nil {
+			t.Fatal("decoding junk succeeded")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		// Every proper prefix must fail cleanly (prefixes shorter than the
+		// header route to gob, which also errors).
+		for n := 0; n < len(full); n++ {
+			if _, err := codec.Decode(full[:n]); err == nil {
+				t.Fatalf("decoding %d/%d-byte prefix succeeded", n, len(full))
+			}
+		}
+	})
+	t.Run("truncated-every-fixture", func(t *testing.T) {
+		for _, g := range goldenValues() {
+			enc, err := codec.Encode(g.value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// nil encodes to exactly the 6-byte header+tag; any longer
+			// payload must reject all proper prefixes past the header.
+			for n := 5; n < len(enc); n++ {
+				if _, err := codec.Decode(enc[:n]); err == nil {
+					t.Fatalf("%s: decoding %d/%d-byte prefix succeeded", g.name, n, len(enc))
+				}
+			}
+		}
+	})
+	t.Run("corrupt-intern-ref", func(t *testing.T) {
+		w := NewWriter()
+		buf := append([]byte{}, binaryMagic[:]...)
+		buf = append(buf, binaryVersion, tagString)
+		w.buf = buf
+		w.Uvarint(99) // back-reference into an empty intern table
+		if _, err := codec.Decode(w.buf); err == nil || !strings.Contains(err.Error(), "intern") {
+			t.Fatalf("decode = %v, want intern-range error", err)
+		}
+	})
+	t.Run("huge-count", func(t *testing.T) {
+		// A corrupt length prefix must not drive a giant allocation.
+		w := NewWriter()
+		buf := append([]byte{}, binaryMagic[:]...)
+		buf = append(buf, binaryVersion, tagFloat64s)
+		w.buf = buf
+		w.Uvarint(1 << 50)
+		if _, err := codec.Decode(w.buf); err == nil {
+			t.Fatal("decoding a 2^50-element column succeeded")
+		}
+	})
+}
+
+// TestUnknownExtensionErrors: a payload naming an unregistered extension
+// is a clean error (e.g. artifacts from a build with extra workload
+// types).
+func TestUnknownExtensionErrors(t *testing.T) {
+	w := NewWriter()
+	w.buf = append(w.buf, binaryMagic[:]...)
+	w.buf = append(w.buf, binaryVersion, tagExt)
+	w.String("no-such-extension")
+	_, err := BinaryCodec{}.Decode(w.buf)
+	if err == nil || !strings.Contains(err.Error(), "no-such-extension") {
+		t.Fatalf("decode = %v, want unknown-extension error", err)
+	}
+}
+
+// TestInternCompression: repeated strings must cost a 1–2 byte
+// back-reference, not a repeated literal — the property the codec's size
+// win on categorical columns rests on.
+func TestInternCompression(t *testing.T) {
+	col := make([]string, 1000)
+	for i := range col {
+		col[i] = fmt.Sprintf("category-%d", i%4)
+	}
+	enc, err := BinaryCodec{}.Encode(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobEnc, err := GobCodec{}.Encode(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc)*4 > len(gobEnc) {
+		t.Errorf("interned column is %d B vs gob's %d B; want ≥4× smaller", len(enc), len(gobEnc))
+	}
+}
+
+func TestTruncatedErrorIsSentinel(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Uvarint(); !errors.Is(err, errTruncated) {
+		t.Fatalf("Uvarint on empty reader = %v, want errTruncated", err)
+	}
+}

@@ -6,7 +6,10 @@
 //
 // Entries are keyed by chain signature, so a stored result is by
 // construction only retrievable by an equivalent operator. Values are
-// gob-encoded. An optional simulated disk speed reproduces the paper's
+// serialized by a pluggable Codec (codec.go) — the default is a
+// purpose-built binary format with columnar layouts, varint numerics and
+// interned strings; legacy gob artifacts keep decoding via a header
+// sniff. An optional simulated disk speed reproduces the paper's
 // 170 MB/s HDD environment on faster local storage; it is applied as a
 // sleep proportional to the byte count on both reads and writes.
 //
@@ -96,6 +99,12 @@ type Store struct {
 	// before the first PutAsync.
 	QueueDepth int
 
+	// Codec serializes stored values; nil selects the default binary
+	// codec (codec.go). Set before first use. Both bundled codecs sniff
+	// the format header on decode, so switching codecs on an existing
+	// directory keeps old artifacts readable.
+	Codec Codec
+
 	dir string
 
 	shards [shardCount]shard
@@ -118,8 +127,16 @@ type Store struct {
 	wp writerPool
 }
 
-// Register exposes gob.Register for value types stored through the store.
-func Register(v any) { gob.Register(v) }
+// codec returns the effective value codec.
+func (s *Store) codec() Codec {
+	if s.Codec != nil {
+		return s.Codec
+	}
+	return defaultCodec
+}
+
+// CodecName reports the effective codec's name.
+func (s *Store) CodecName() string { return s.codec().Name() }
 
 // Open opens (creating if needed) a store rooted at dir and loads its
 // manifest.
@@ -177,15 +194,25 @@ func (s *Store) throttle(size int64) {
 	}
 }
 
-// Encode gob-encodes a value, returning its on-disk representation. Exposed
-// so callers can learn a result's size (for the OMP budget and load-time
-// estimate) before deciding to write it.
+// Encode gob-encodes a value. This is NOT the store's on-disk codec (see
+// EncodeValue) — it is the codec-independent canonical encoding used to
+// compare values across sessions regardless of their configured codec
+// (the fuzz harness's byte-for-byte oracle) and the payload format of
+// GobCodec.
 func Encode(value any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&value); err != nil {
 		return nil, fmt.Errorf("store: encode: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// EncodeValue encodes a value with the store's configured codec,
+// returning its on-disk representation. Exposed so callers can learn a
+// result's size (for the OMP budget and load-time estimate) before
+// deciding to write it.
+func (s *Store) EncodeValue(value any) ([]byte, error) {
+	return s.codec().Encode(value)
 }
 
 // EstimateLoad predicts the time to load size bytes, per the paper's model
@@ -243,9 +270,9 @@ func (s *Store) putBytes(key, name string, data []byte, iteration int, syncManif
 	return e, nil
 }
 
-// Put encodes and writes a value under key.
+// Put encodes (with the store's codec) and writes a value under key.
 func (s *Store) Put(key, name string, value any, iteration int) (Entry, error) {
-	data, err := Encode(value)
+	data, err := s.EncodeValue(value)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -302,9 +329,9 @@ func (s *Store) load(key string) (any, error) {
 		return nil, fmt.Errorf("store: read %q: %w", key, err)
 	}
 	s.throttle(e.Size)
-	var value any
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&value); err != nil {
-		return nil, fmt.Errorf("store: decode %q: %w", key, err)
+	value, err := s.codec().Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %q: %w", key, err)
 	}
 	return value, nil
 }

@@ -15,9 +15,9 @@ type payload struct {
 }
 
 func init() {
-	Register(payload{})
-	Register([]float64(nil))
-	Register(map[string]int(nil))
+	RegisterValueType(payload{})
+	RegisterValueType([]float64(nil))
+	RegisterValueType(map[string]int(nil))
 }
 
 func open(t *testing.T) *Store {

@@ -18,8 +18,8 @@ const DefaultQueueDepth = 64
 
 // WriteRequest is one unit of write-behind work handed to the writer pool.
 // Exactly one of Data or Value supplies the payload: when Data is nil the
-// pool gob-encodes Value on a writer goroutine, keeping serialization cost
-// off the caller's critical path.
+// pool encodes Value (with the store's codec) on a writer goroutine,
+// keeping serialization cost off the caller's critical path.
 type WriteRequest struct {
 	Key       string
 	Name      string
@@ -174,7 +174,7 @@ func (s *Store) processWrite(req WriteRequest, syncManifest bool) WriteOutcome {
 	data := req.Data
 	if data == nil {
 		var err error
-		data, err = Encode(req.Value)
+		data, err = s.EncodeValue(req.Value)
 		if err != nil {
 			// Unserializable values are simply not materialized; the encode
 			// attempt is still charged as materialization overhead.

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"helix"
+	"helix/internal/store"
+)
+
+// TestCensusStreamByteIdentical is the acceptance check behind the
+// streaming benchmark's numbers: the census-scale pipeline produces
+// byte-identical outputs (under canonical encoding) whether the
+// parse→norm→keep chain runs fused per-row or as three batch operators.
+func TestCensusStreamByteIdentical(t *testing.T) {
+	wf := CensusStream(20000, 1)
+
+	on, err := helix.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	p, err := on.Plan(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fused) != 1 || len(p.Fused[0]) != 3 {
+		t.Fatalf("Fused = %v, want one group of 3 (parse, norm, keep)", p.Fused)
+	}
+	resOn, err := on.Run(context.Background(), wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off, err := helix.Open(t.TempDir(), helix.WithStreaming(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	resOff, err := off.Run(context.Background(), wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, ok := resOn.Values["stats"].([]float64)
+	if !ok || len(stats) != 3 || stats[0] == 0 {
+		t.Fatalf("stats = %#v, want [count sum mean] with count > 0", resOn.Values["stats"])
+	}
+	for name, v := range resOn.Values {
+		a, err := store.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := store.Encode(resOff.Values[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("output %q differs between streaming and batch execution", name)
+		}
+	}
+}

@@ -165,6 +165,28 @@ func WithLISlowdown(factor float64) Option {
 	return Option{name: "WithLISlowdown", apply: func(c *config) { c.o.LISlowdown = factor }}
 }
 
+// WithStreaming toggles fused streaming execution of row-wise operators
+// (MapRows, FilterRows, FlatMapRows): when on (the default), the planner
+// fuses linear chains of them into single scheduled units with
+// per-element pull, so interior collections are never built. Disabling
+// falls back to per-operator batch execution — byte-identical results
+// (asserted by the fuzz harness), one collection and one barrier per
+// operator. Run-scoped overrides are plan-cache safe: the streaming bit
+// is part of the plan fingerprint.
+func WithStreaming(enabled bool) Option {
+	return Option{name: "WithStreaming", apply: func(c *config) { c.o.DisableStreaming = !enabled }}
+}
+
+// WithCodec selects the store's serialization format: CodecBinary (the
+// default columnar binary codec) or CodecGob (legacy encoding/gob).
+// Readers sniff the format per artifact, so a store written under one
+// codec stays loadable under the other. Session-scoped: the codec
+// belongs to the store.
+func WithCodec(c Codec) Option {
+	return Option{name: "WithCodec", sessionOnly: true,
+		apply: func(cfg *config) { cfg.o.Codec = c }}
+}
+
 // WithSyncMaterialization, when enabled, serializes and writes
 // materializations inline on the worker goroutine that computed them —
 // the paper-faithful accounting — instead of the default write-behind

@@ -115,7 +115,31 @@ type Options struct {
 	// claim workers early; it degrades to FIFO when no projections
 	// exist. SchedFIFO forces pure arrival order.
 	CriticalPath SchedMode
+	// DisableStreaming turns off fused streaming execution: every
+	// streamable operator (MapRows/FilterRows/FlatMapRows) runs as an
+	// ordinary batch operator with its own scheduler slot and fully
+	// built output. Default false (streaming on).
+	DisableStreaming bool
+	// Codec selects the store's serialization format. The zero value,
+	// CodecBinary, is the columnar binary codec; CodecGob writes legacy
+	// encoding/gob. Both read either format (the binary header is
+	// sniffed), so existing artifacts stay loadable across the switch.
+	Codec Codec
 }
+
+// Codec selects the materialization store's serialization format
+// (Options.Codec, WithCodec).
+type Codec int
+
+const (
+	// CodecBinary writes the columnar binary format: varint numerics,
+	// interned strings, columnar layouts for the repo's row types, a
+	// gob escape hatch for everything else — behind a versioned header.
+	CodecBinary Codec = iota
+	// CodecGob writes legacy encoding/gob, for A/B comparison and
+	// byte-level compatibility testing. Reads both formats.
+	CodecGob
+)
 
 // PlanCacheMode toggles the session's plan cache (Options.PlanCache).
 type PlanCacheMode int
@@ -226,6 +250,9 @@ func Open(dir string, opts ...Option) (*Session, error) {
 	}
 	st.DiskBytesPerSec = cfg.o.DiskBytesPerSec
 	st.Writers = cfg.o.MatWriters
+	if cfg.o.Codec == CodecGob {
+		st.Codec = store.GobCodec{}
+	}
 	s := &Session{
 		store:    st,
 		dir:      dir,
@@ -322,6 +349,7 @@ func (s *Session) execOptions(cfg *config, pol opt.MatPolicy) exec.Options {
 		SampleMemory:        cfg.o.SampleMemory,
 		DisablePruning:      cfg.o.DisablePruning,
 		SyncMaterialization: cfg.o.SyncMaterialization,
+		DisableStreaming:    cfg.o.DisableStreaming,
 		Parallelism:         cfg.o.Parallelism,
 		Sched:               cfg.o.CriticalPath,
 		IOWorkers:           cfg.ioWorkers,

@@ -1,0 +1,128 @@
+package helix
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"helix/internal/exec"
+)
+
+// Streaming row-wise operators. MapRows, FilterRows, and FlatMapRows
+// declare operators the planner may fuse: a linear chain of them executes
+// as one scheduled unit with per-element pull, so only the chain's
+// endpoints are ever fully built — no per-operator barrier, no interior
+// collection proportional to the data. Fusion is a pure execution
+// strategy: each member keeps its own chain signature, so plan
+// fingerprints, materialization keys, and cross-iteration reuse behave
+// exactly as they do for batch operators, and the fuzz harness proves
+// streaming-on and streaming-off runs byte-identical.
+//
+// They are free functions rather than Workflow methods because Go
+// methods cannot introduce type parameters.
+
+// MapRows declares a row-wise 1:1 transformation over a []In input,
+// producing []Out. params must identify f for equivalence tracking, as
+// with every operator declaration. The operator is an Extractor (feature
+// extraction/transformation ∈ F) and is streamable: when streaming is
+// enabled (the default) the planner may fuse it with adjacent row-wise
+// operators.
+func MapRows[In, Out any](w *Workflow, name, params string, f func(In) Out, input *Op) *Op {
+	return declareRowOp[In, Out](w, name, extractorKind, params, input,
+		func(row any, emit func(any) bool) error {
+			emit(f(row.(In)))
+			return nil
+		})
+}
+
+// FilterRows declares a row-wise predicate over a []T input, keeping the
+// rows for which pred is true. Streamable, like MapRows.
+func FilterRows[T any](w *Workflow, name, params string, pred func(T) bool, input *Op) *Op {
+	return declareRowOp[T, T](w, name, extractorKind, params, input,
+		func(row any, emit func(any) bool) error {
+			if pred(row.(T)) {
+				emit(row)
+			}
+			return nil
+		})
+}
+
+// FlatMapRows declares a row-wise 1:N expansion over a []In input,
+// producing []Out — the streaming analogue of Scanner's flatMap-over-
+// records behavior, and declared as a Scanner (parsing ∈ F). Streamable,
+// like MapRows.
+func FlatMapRows[In, Out any](w *Workflow, name, params string, f func(In) []Out, input *Op) *Op {
+	return declareRowOp[In, Out](w, name, scannerKind, params, input,
+		func(row any, emit func(any) bool) error {
+			for _, u := range f(row.(In)) {
+				if !emit(u) {
+					return nil
+				}
+			}
+			return nil
+		})
+}
+
+// declareRowOp declares one streamable operator: the untyped RowOp the
+// engine fuses, plus a batch OpFunc over the very same RowOp — sharing
+// the per-row implementation is what makes streaming-on and
+// streaming-off produce byte-identical values.
+func declareRowOp[In, Out any](w *Workflow, name string, kind opKind, params string, input *Op, apply func(row any, emit func(any) bool) error) *Op {
+	row := &exec.RowOp{
+		Seq:   rowSeq[In],
+		Apply: apply,
+		Build: buildRows[Out],
+	}
+	fn := func(ctx context.Context, inputs []Value) (Value, error) {
+		return exec.RunRowOp(ctx, row, inputs)
+	}
+	var o *Op
+	switch kind {
+	case scannerKind:
+		o = w.Scanner(name, params, fn, input)
+	default:
+		o = w.Extractor(name, params, fn, input)
+	}
+	o.row = row
+	return o
+}
+
+// opKind distinguishes the DSL declaration a streamable operator lowers
+// to; the core.Kind itself lives in internal/core.
+type opKind int
+
+const (
+	extractorKind opKind = iota
+	scannerKind
+)
+
+// rowSeq adapts a []In operator input into the untyped row stream a
+// fused chain's head pulls from. An untyped nil (pruned or empty
+// upstream) streams zero rows.
+func rowSeq[In any](v any) (iter.Seq[any], error) {
+	if v == nil {
+		return func(yield func(any) bool) {}, nil
+	}
+	in, ok := v.([]In)
+	if !ok {
+		return nil, fmt.Errorf("helix: streaming operator expects %T input, got %T", in, v)
+	}
+	return func(yield func(any) bool) {
+		for _, r := range in {
+			if !yield(r) {
+				return
+			}
+		}
+	}, nil
+}
+
+// buildRows assembles a streamable operator's []Out output from its
+// transformed row stream. An empty stream yields nil, matching the
+// append-based batch operators byte-for-byte under encoding.
+func buildRows[Out any](rows iter.Seq[any]) (any, error) {
+	var out []Out
+	for r := range rows {
+		out = append(out, r.(Out))
+	}
+	return out, nil
+}

@@ -30,6 +30,11 @@ type Op struct {
 	uses   []*Op
 	output bool
 	nondet bool
+	// row is the per-row implementation of a streamable operator
+	// (MapRows/FilterRows/FlatMapRows); nil for batch operators. Compile
+	// marks such nodes Streamable and registers the RowOp so the planner
+	// can fuse linear chains of them.
+	row *exec.RowOp
 }
 
 // Name returns the operator's declared name.
@@ -191,7 +196,11 @@ func (w *Workflow) compile() (*exec.Program, error) {
 	}
 	d := core.NewDAG()
 	nodes := make(map[*Op]*core.Node, len(w.ops))
-	prog := &exec.Program{DAG: d, Fns: make(map[*core.Node]exec.OpFunc, len(w.ops))}
+	prog := &exec.Program{
+		DAG:  d,
+		Fns:  make(map[*core.Node]exec.OpFunc, len(w.ops)),
+		Rows: make(map[*core.Node]*exec.RowOp),
+	}
 	for _, o := range w.ops {
 		sig := fmt.Sprintf("%s|%s|%s", o.kind, o.name, o.params)
 		n, err := d.AddNode(o.name, o.kind, o.comp, sig, !o.nondet)
@@ -201,6 +210,10 @@ func (w *Workflow) compile() (*exec.Program, error) {
 		nodes[o] = n
 		if o.output {
 			d.MarkOutput(n)
+		}
+		if o.row != nil {
+			n.Streamable = true
+			prog.Rows[n] = o.row
 		}
 	}
 	for _, o := range w.ops {
