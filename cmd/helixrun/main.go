@@ -47,6 +47,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generation seed")
 	iters := flag.Int("iters", 0, "iterations to run (0 = paper schedule)")
 	dir := flag.String("dir", "", "materialization directory (default: temp, removed at exit)")
+	shared := flag.Bool("shared", false, "attach to a shared content-addressed store at -dir: artifacts publish once per chain signature and are reused by any session (or process) sharing the directory")
+	tenant := flag.String("tenant", "", "tenant label for shared-store byte accounting (only with -shared)")
 	writeBehind := flag.Bool("writebehind", false, "materialize via the background writer pool instead of the paper-faithful inline write")
 	parallelism := flag.Int("parallelism", 0, "scheduler worker-pool size (0 = GOMAXPROCS)")
 	planCache := flag.Bool("plancache", true, "reuse the previous iteration's plan when the planning fingerprint matches")
@@ -56,7 +58,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-operator states")
 	flag.Parse()
 
-	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *parallelism, *writeBehind, *planCache, *sched, *explain, *progress, *verbose); err != nil {
+	if err := run(*workload, *system, *scale, *cost, *seed, *iters, *dir, *shared, *tenant, *parallelism, *writeBehind, *planCache, *sched, *explain, *progress, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "helixrun:", err)
 		os.Exit(1)
 	}
@@ -96,7 +98,7 @@ func systemByName(name string) (sim.System, error) {
 	return sim.System{}, fmt.Errorf("unknown system %q", name)
 }
 
-func run(workload, system string, scale, cost int, seed int64, iters int, dir string, parallelism int, writeBehind, planCache bool, sched string, explain, progress, verbose bool) error {
+func run(workload, system string, scale, cost int, seed int64, iters int, dir string, shared bool, tenant string, parallelism int, writeBehind, planCache bool, sched string, explain, progress, verbose bool) error {
 	workloads.RegisterAll()
 	sys, err := systemByName(system)
 	if err != nil {
@@ -126,6 +128,20 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 	opts = append(opts, helix.WithParallelism(parallelism))
 	if !planCache {
 		opts = append(opts, helix.WithPlanCache(helix.PlanCacheOff))
+	}
+	// -shared attaches to a content-addressed store rooted at -dir: a
+	// second invocation on the same directory loads this one's artifacts
+	// instead of recomputing (run with an explicit -dir, or the temp
+	// directory vanishes at exit and the store is shared with nobody).
+	var sharedStore *helix.SharedStore
+	if shared {
+		var err error
+		sharedStore, err = helix.OpenSharedStore(dir)
+		if err != nil {
+			return err
+		}
+		defer sharedStore.Close()
+		opts = append(opts, helix.WithSharedStore(sharedStore), helix.WithTenant(tenant))
 	}
 	switch sched {
 	case "critpath", "":
@@ -199,6 +215,16 @@ func run(workload, system string, scale, cost int, seed int64, iters int, dir st
 		if verbose {
 			printNodes(res)
 		}
+	}
+	if sharedStore != nil {
+		st := sharedStore.PlanCacheStats()
+		fmt.Printf("\nshared store: artifacts=%d bytes=%d sessions=%d plan-cache hits=%d partial=%d misses=%d",
+			sharedStore.Artifacts(), sharedStore.StorageBytes(), sharedStore.Sessions(),
+			st.Hits, st.Partials, st.Misses)
+		if tenant != "" {
+			fmt.Printf(" tenant[%s]=%dB", tenant, sharedStore.TenantBytes(tenant))
+		}
+		fmt.Println()
 	}
 	fmt.Printf("\noutputs of the final iteration:\n")
 	printOutputs(wl, sess)

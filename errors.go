@@ -37,6 +37,12 @@ var (
 	// ErrSessionOption tags a session-scoped option (storage and plan-
 	// cache configuration) passed to the run scope of Run or Plan.
 	ErrSessionOption = errors.New("helix: option is session-scoped")
+	// ErrSharedConfig tags a session opened against a SharedStore with
+	// store-level settings (disk throughput, codec, writer-pool size)
+	// conflicting with those the store was configured with by its first
+	// session. Store-level configuration belongs to the shared store, not
+	// to any one attaching session.
+	ErrSharedConfig = errors.New("helix: conflicting shared-store configuration")
 )
 
 // NodeError reports the failure of one operator during Run. Retrieve it

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"helix/internal/sim"
+	"helix/internal/workloads"
+)
+
+// sharedOutPath is where BenchmarkSharedWarmStart writes its JSON
+// summary; override with HELIX_BENCH_SHARED_OUT. CI uploads the file
+// alongside the other bench artifacts.
+func sharedOutPath() string {
+	if p := os.Getenv("HELIX_BENCH_SHARED_OUT"); p != "" {
+		return p
+	}
+	return "BENCH_shared.json"
+}
+
+// BenchmarkSharedWarmStart measures the cross-session reuse win: four
+// sessions attach to one shared content-addressed store and run the
+// census workload. The cold session computes and publishes everything;
+// each warm session's first run must answer entirely from the shared
+// store and the process-wide plan cache — a full fingerprint hit with
+// zero max-flow solves and zero computed operators — and a final session
+// running a mutated variant recomputes only its changed suffix. The
+// acceptance floors asserted here: warm wall ≥ 2× faster than cold,
+// shared-prefix artifacts stored exactly once (warm sessions publish
+// nothing), and the suffix session computing strictly less than cold.
+func BenchmarkSharedWarmStart(b *testing.B) {
+	workloads.RegisterAll()
+	series, err := sim.RunSharedWarmStart(context.Background(), "census",
+		workloads.Scale{Rows: 4, CostFactor: 40}, 1, 4, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	cold := series.Cold
+	if cold.Computes == 0 {
+		b.Fatalf("cold session computed nothing (plan %s) — store not empty at start?", cold.PlanCache)
+	}
+	var warmWorst, warmSolves float64
+	for _, w := range series.Warm {
+		if w.PlanCache != "hit" {
+			b.Fatalf("warm session %d first plan outcome %q, want a shared-cache full hit", w.Session, w.PlanCache)
+		}
+		if w.Solves != 0 {
+			b.Fatalf("warm session %d first plan performed %d max-flow solves, want 0", w.Session, w.Solves)
+		}
+		if w.Computes != 0 {
+			b.Fatalf("warm session %d recomputed %d operators, want 0 (all published)", w.Session, w.Computes)
+		}
+		if w.Seconds > warmWorst {
+			warmWorst = w.Seconds
+		}
+		warmSolves += float64(w.Solves)
+	}
+	if cold.Seconds < 2*warmWorst {
+		b.Fatalf("warm start too slow: cold %.3fs vs worst warm %.3fs (%.1f×, want ≥2×)",
+			cold.Seconds, warmWorst, cold.Seconds/warmWorst)
+	}
+	// Write-once dedup: the warm sessions ran the identical workflow, so
+	// the store must hold exactly the artifacts the cold session published.
+	if series.ArtifactsAfter != series.Artifacts {
+		b.Fatalf("warm sessions grew the store: %d artifacts after cold, %d after warm — shared-prefix artifacts must be stored exactly once",
+			series.Artifacts, series.ArtifactsAfter)
+	}
+	// Overlapping-prefix reuse under change: the mutated variant shares
+	// the workflow's unchanged prefix with the published artifacts, so it
+	// must compute strictly fewer operators than the cold session did.
+	if series.Suffix.Computes >= cold.Computes {
+		b.Fatalf("suffix session computed %d operators, cold computed %d — prefix sharing failed",
+			series.Suffix.Computes, cold.Computes)
+	}
+
+	b.ReportMetric(cold.Seconds*1e9, "cold-ns/session")
+	b.ReportMetric(warmWorst*1e9, "warm-ns/session")
+	b.ReportMetric(cold.Seconds/warmWorst, "speedup")
+	recordMetricsTo(b, sharedOutPath(), map[string]float64{
+		"shared_cold_wall_ns":    cold.Seconds * 1e9,
+		"shared_warm_wall_ns":    warmWorst * 1e9,
+		"shared_warm_speedup":    cold.Seconds / warmWorst,
+		"shared_warm_solves":     warmSolves,
+		"shared_artifacts":       float64(series.Artifacts),
+		"shared_artifacts_after": float64(series.ArtifactsAfter),
+		"shared_cold_computes":   float64(cold.Computes),
+		"shared_suffix_computes": float64(series.Suffix.Computes),
+		"shared_storage_bytes":   float64(series.StorageBytes),
+	})
+}

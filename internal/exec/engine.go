@@ -132,6 +132,16 @@ type Options struct {
 	// (helix.WithStreaming(false)) and for A/B benchmarking; the fuzz
 	// harness proves the two modes byte-identical.
 	DisableStreaming bool
+	// Shared marks the run as executing against a content-addressed
+	// shared store (store.OpenShared): planning derives originality from
+	// the store instead of the previous DAG and never deprecates names
+	// (plan.Options.Shared), and the engine skips the purge pass —
+	// eviction of shared entries is the store's refcounted concern, never
+	// one session's.
+	Shared bool
+	// Tenant labels this run's published artifacts for per-tenant byte
+	// accounting in a shared store; empty outside shared mode.
+	Tenant string
 }
 
 // SchedMode selects the scheduler's ready-queue ordering policy.
@@ -216,6 +226,12 @@ type Engine struct {
 	// partial one. Session installs one unless the caller disabled it; a
 	// bare Engine plans cold every time.
 	Cache *plan.Cache
+	// Shared, when non-nil, is the process-wide plan cache + frozen
+	// statistics board for shared-store mode. Session sets Cache to
+	// Shared.Cache() alongside; the engine additionally publishes each
+	// run's measured metrics to the board so every attached session plans
+	// from identical solver inputs.
+	Shared *plan.SharedCache
 
 	// planMu serializes planning: the pooled solver's scratch buffers
 	// (and the cache's planner pipeline) are not safe for concurrent
@@ -280,8 +296,10 @@ func (e *Engine) PlanWith(d *core.DAG, prev *core.DAG, iteration int, opts Optio
 			DisablePruning:     opts.DisablePruning,
 			MaterializeOutputs: opts.MaterializeOutputs,
 			Streaming:          !opts.DisableStreaming,
+			Shared:             opts.Shared,
 		},
 		Cache:       e.Cache,
+		Shared:      e.Shared,
 		Solver:      &e.solver,
 		ConfigToken: opts.ConfigToken,
 	}
@@ -396,8 +414,11 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	em.plan(p, planTime)
 
 	// Purge deprecated materializations per the plan's decision: an
-	// original node's old results can never be reused (paper §6.6).
-	if p.Purge != nil {
+	// original node's old results can never be reused (paper §6.6). With
+	// no deprecated names (always true in shared mode, where the plan
+	// never deprecates) the keep predicate retains every entry, so the
+	// whole scan is skipped.
+	if p.Purge != nil && len(p.Purge.DeprecatedNames) > 0 {
 		freed, err := e.Store.Purge(func(key string) bool {
 			if p.Purge.CurrentSigs[key] {
 				return true
@@ -553,6 +574,15 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+
+	// Shared-store mode: publish this run's measured metrics to the
+	// process-wide statistics board (first writer wins) so every attached
+	// session's planner sees identical solver inputs — the precondition
+	// for cross-session fingerprint hits. After the flush barrier, so
+	// write-behind size/load metrics have settled.
+	if e.Shared != nil {
+		e.Shared.PublishStats(d)
 	}
 
 	// Assemble the result.
@@ -1148,10 +1178,21 @@ func (s *runState) retireSync(r *nodeRun, key string, mandatory bool, cum float6
 			return false, 0
 		}
 	}
-	ent, err := e.Store.PutBytes(key, n.Name, data, s.iteration)
+	ent, wrote, err := e.Store.PutBytesTenant(key, n.Name, data, s.iteration, s.opts.Tenant)
 	r.matSecs += time.Since(matStart).Seconds()
 	if err != nil {
 		return false, 0 // a failed write degrades to no materialization
+	}
+	if !wrote {
+		// Shared-mode dedup: another session published the signature
+		// between the Has check and the write. The artifact is on disk
+		// either way; refund the budget this tenant's Decide reserved for
+		// the skipped write.
+		if decided {
+			if rel, ok := pol.(interface{ Release(int64) }); ok {
+				rel.Release(size)
+			}
+		}
 	}
 	r.bytes = ent.Size
 	n.Metrics.Size = ent.Size
@@ -1181,8 +1222,15 @@ func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float
 		Key:       key,
 		Name:      n.Name,
 		Iteration: s.iteration,
+		Tenant:    s.opts.Tenant,
 		Value:     r.value,
 	}
+	// reservedSize tracks bytes a "yes" from Decide reserved against the
+	// policy's budget, so a shared-mode dedup (another session published
+	// the signature first; the write is skipped) can refund them. Decide
+	// and OnDone run sequentially on the same writer goroutine, so plain
+	// closure variables suffice.
+	reservedSize := int64(-1)
 	if !mandatory {
 		if sz, ok := r.value.(Sizer); ok {
 			size := sz.ApproxBytes()
@@ -1193,10 +1241,15 @@ func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float
 				}
 				return false, 0
 			}
+			reservedSize = size
 		} else {
 			req.Decide = func(size int64) bool {
 				load := e.Store.EstimateLoad(size).Seconds()
-				return pol != nil && pol.Decide(n, cum, load, size)
+				if pol == nil || !pol.Decide(n, cum, load, size) {
+					return false
+				}
+				reservedSize = size
+				return true
 			}
 		}
 	}
@@ -1207,6 +1260,18 @@ func (s *runState) retireAsync(r *nodeRun, key string, mandatory bool, cum float
 			r.bytes = out.Entry.Size
 			n.Metrics.Size = out.Entry.Size
 			n.Metrics.Load = e.Store.EstimateLoad(out.Entry.Size)
+		} else if out.Err == nil && reservedSize >= 0 {
+			// Decide said yes but nothing landed — either a deduplicated
+			// publish (another session's write won; the artifact exists) or
+			// an unserializable value. The reservation goes back to the
+			// tenant's budget in both cases.
+			if rel, ok := pol.(interface{ Release(int64) }); ok {
+				rel.Release(reservedSize)
+			}
+			if out.Entry.Size > 0 {
+				n.Metrics.Size = out.Entry.Size
+				n.Metrics.Load = e.Store.EstimateLoad(out.Entry.Size)
+			}
 		}
 	}
 	e.Store.PutAsync(req)

@@ -4,7 +4,7 @@
 // configurations, each executed through a real Session and cross-checked
 // against independent oracles.
 //
-// Eight invariants are enforced on every generated case:
+// Nine invariants are enforced on every generated case:
 //
 //  1. Plan-cache transparency — a session planning through the
 //     fingerprint cache produces byte-for-byte the same output values as
@@ -38,6 +38,11 @@
 //  8. Codec transparency — a session storing artifacts with the binary
 //     columnar codec produces byte-for-byte the same output values as a
 //     WithCodec(CodecGob) session.
+//  9. Shared-store transparency — two sessions attached to one shared
+//     content-addressed store produce outputs byte-identical to the
+//     private-store reference, and neither recomputes a deterministic
+//     node whose artifact is already published when loading it is
+//     cheaper than recomputing (plan optimality's swap argument).
 //
 // A failing case is shrunk to a local minimum (dropping iterations,
 // edits, restarts, cancellations, and DAG nodes while the same

@@ -101,7 +101,19 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		{"streamoff", []helix.Option{helix.WithStreaming(false)}},
 		{"gob", []helix.Option{helix.WithCodec(helix.CodecGob)}},
 	}
+	// Invariant-9 pair: two sessions attached to one shared
+	// content-addressed store, running the same sequence as the private
+	// siblings. The handle outlives restarts (it is process state, like a
+	// real multi-session deployment); the sessions detach and reattach.
+	sharedDir := filepath.Join(dir, "shared")
+	sharedHandle, err := helix.OpenSharedStore(sharedDir)
+	if err != nil {
+		return nil, err
+	}
+	defer sharedHandle.Close()
+
 	sess := make([]*helix.Session, len(siblings))
+	var sharedA, sharedB *helix.Session
 	openAll := func() error {
 		for i, sib := range siblings {
 			s, err := helix.Open(filepath.Join(dir, sib.sub),
@@ -110,6 +122,15 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 				return err
 			}
 			sess[i] = s
+		}
+		var err error
+		if sharedA, err = helix.Open("", append(append([]helix.Option{}, baseOpts...),
+			helix.WithSharedStore(sharedHandle), helix.WithTenant("a"))...); err != nil {
+			return err
+		}
+		if sharedB, err = helix.Open("", append(append([]helix.Option{}, baseOpts...),
+			helix.WithSharedStore(sharedHandle), helix.WithTenant("b"))...); err != nil {
+			return err
 		}
 		return nil
 	}
@@ -123,6 +144,15 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 				first = err
 			}
 			sess[i] = nil
+		}
+		for _, sp := range []**helix.Session{&sharedA, &sharedB} {
+			if *sp == nil {
+				continue
+			}
+			if err := (*sp).Close(); err != nil && first == nil {
+				first = err
+			}
+			*sp = nil
 		}
 		return first
 	}
@@ -334,6 +364,51 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 			if d := valueDiff(res.Values[name], gobRes.Values[name]); d != "" {
 				return viol("codec-equivalence", "output %s: binary codec vs gob: %s", name, d), nil
 			}
+		}
+
+		// Invariant 9: shared-store transparency and no wasteful
+		// recompute. Two sessions attached to one content-addressed store
+		// run the same iteration: outputs must stay byte-identical to the
+		// private-store reference, and a deterministic live node whose
+		// artifact is already published must not be recomputed when
+		// loading it is cheaper — with the artifact on disk the solver
+		// faces a strict load-vs-compute choice, so Compute with
+		// Load < Compute contradicts plan optimality (swap argument).
+		runShared := func(who string, s *helix.Session) (*Violation, error) {
+			pre, merr := readManifest(sharedDir)
+			if merr != nil {
+				return nil, merr
+			}
+			r, rerr := s.Run(ctx, wf)
+			if rerr != nil {
+				return viol("run-error", "shared session %s run failed: %v", who, rerr), nil
+			}
+			for name, want := range ref {
+				if d := valueDiff(r.Values[name], want); d != "" {
+					return viol("shared-equivalence", "output %s: shared session %s vs reference: %s (plan %v)",
+						name, who, d, r.Plan.Cache), nil
+				}
+			}
+			for _, np := range r.Plan.Nodes {
+				if !np.Live || np.State != helix.StateCompute || !np.Node.Deterministic {
+					continue
+				}
+				if _, ok := pre[np.Node.ChainSignature()]; !ok {
+					continue
+				}
+				if np.Costs.Load < np.Costs.Compute {
+					return viol("shared-recompute",
+						"shared session %s recomputed %s (compute %.6gs) though its artifact is published and cheaper to load (%.6gs)",
+						who, np.Node.Name, np.Costs.Compute, np.Costs.Load), nil
+				}
+			}
+			return nil, nil
+		}
+		if v, serr := runShared("a", sharedA); v != nil || serr != nil {
+			return v, serr
+		}
+		if v, serr := runShared("b", sharedB); v != nil || serr != nil {
+			return v, serr
 		}
 
 		// Invariant 4: plan-cache soundness — whatever the cache outcome,

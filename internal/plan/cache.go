@@ -70,6 +70,11 @@ type Cache struct {
 	// is a changed fingerprint, forcing a fresh solve.
 	ConfigToken string
 
+	// capacity bounds the MRU list; ≤0 selects cacheCapacity. The shared
+	// process-wide cache (SharedCache) raises it, since one cache then
+	// serves every attached session's workflows.
+	capacity int
+
 	mu      sync.Mutex
 	entries []*cacheEntry // most recently stored/hit first
 	stats   CacheStats
@@ -273,8 +278,12 @@ func (c *Cache) store(fp Fingerprint, keys []nodeKey, parents []int32, opts Opti
 	c.entries = append(c.entries, nil)
 	copy(c.entries[1:], c.entries)
 	c.entries[0] = e
-	if len(c.entries) > cacheCapacity {
-		c.entries = c.entries[:cacheCapacity]
+	max := c.capacity
+	if max <= 0 {
+		max = cacheCapacity
+	}
+	if len(c.entries) > max {
+		c.entries = c.entries[:max]
 	}
 	if p.Cache == CachePartial {
 		c.stats.Partials++

@@ -88,6 +88,7 @@ func fingerprintInputs(in *planInputs, opts Options, configToken string) ([]node
 	bit(opts.DisablePruning)
 	bit(opts.MaterializeOutputs)
 	bit(opts.Streaming)
+	bit(opts.Shared)
 	u64(uint64(len(in.order)))
 	h.Write(buf)
 

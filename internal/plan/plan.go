@@ -76,6 +76,17 @@ type Options struct {
 	// the zero value; the engine enables it unless the caller opted out
 	// (helix.WithStreaming(false)).
 	Streaming bool
+	// Shared plans against a content-addressed shared store: originality
+	// (Definition 2's "no equivalent in the previous iteration") is
+	// derived from the store rather than the previous DAG — a changed
+	// chain has a new signature that by construction has no published
+	// artifact, so Load is +Inf and the solver is forced to compute or
+	// prune it; Constraint 1's MustCompute is never set, and the purge
+	// spec deprecates no names (other sessions may still depend on them —
+	// eviction is the shared store's refcounted concern). This is what
+	// makes a warm session's first fingerprint byte-identical to the
+	// steady state another session cached.
+	Shared bool
 }
 
 // NodePlan is one node's planned treatment plus everything the decision
@@ -276,6 +287,12 @@ type Planner struct {
 	// decisions — the license run-scoped configuration overrides need.
 	// Empty falls back to the Cache's session-wide ConfigToken.
 	ConfigToken string
+	// Shared, when non-nil, is the process-wide plan cache + frozen
+	// statistics board (shared-store mode). The caller still sets Cache to
+	// Shared.Cache(); this reference exists so Plan can apply the frozen
+	// per-signature metrics after CarryMetrics, keeping every session's
+	// solver inputs — and therefore fingerprints — identical.
+	Shared *SharedCache
 }
 
 // planInputs carries the derived planning inputs between pipeline stages.
@@ -314,6 +331,9 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 	// 1. Change tracking (§4.2).
 	d.ComputeSignatures()
 	d.CarryMetrics(prev)
+	if pl.Shared != nil {
+		pl.Shared.ApplyStats(d)
+	}
 
 	// 2-3. Originality, slicing, and cost assembly — the cheap O(V+E)
 	// stages every call pays, because they are what the fingerprint is
@@ -404,9 +424,18 @@ func (pl *Planner) gather(d *core.DAG, prev *core.DAG, iteration int) *planInput
 		in.pos[nd.ID] = int32(i)
 	}
 
-	// Originality (Definition 2): no equivalent node in prev.
+	// Originality (Definition 2): no equivalent node in prev. In shared
+	// mode originality is vacuously false for every node: content
+	// addressing subsumes Constraint 1 (a changed chain's new signature
+	// has no published artifact, so Load is +Inf and the solver computes
+	// or prunes it regardless), and a prev-derived flag would make a warm
+	// session's first fingerprint — where prev is nil and everything looks
+	// original — differ from the steady-state fingerprint another session
+	// cached, forfeiting the zero-solve hit.
 	in.originals = make([]bool, n)
-	if prev == nil {
+	if pl.Opts.Shared {
+		// all false
+	} else if prev == nil {
 		for i := range in.originals {
 			in.originals[i] = true
 		}

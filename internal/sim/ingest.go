@@ -20,6 +20,11 @@ type IngestConfig struct {
 	// a quiet tick (no new data; the pipeline re-runs unchanged). Nil uses
 	// DefaultIngestSchedule(Window).
 	Schedule []int
+	// Sliding switches the window semantics from tumbling (a delivery
+	// replaces the scheduled slot in place) to sliding (a delivery evicts
+	// the oldest batch from the ring; the schedule's slot value only
+	// distinguishes delivery from quiet ticks).
+	Sliding bool
 	// Scale multiplies the per-batch row count.
 	Scale workloads.Scale
 	// Dir is the materialization directory; empty uses a temp dir that is
@@ -77,6 +82,7 @@ type IngestTick struct {
 // IngestReport aggregates a continuous-ingest run.
 type IngestReport struct {
 	Window      int          `json:"window"`
+	Mode        string       `json:"mode"`
 	Ticks       []IngestTick `json:"ticks"`
 	ColdPlans   int          `json:"cold_plans"`
 	PartialHits int          `json:"partial_hits"`
@@ -97,8 +103,8 @@ func (r *IngestReport) PartialHitRate() float64 {
 
 // String renders the per-tick table helixbench prints.
 func (r *IngestReport) String() string {
-	out := fmt.Sprintf("Continuous ingest (%d slots, %d ticks): %d cold / %d partial / %d full-hit plans, %.1f%% partial-hit rate\n",
-		r.Window, len(r.Ticks), r.ColdPlans, r.PartialHits, r.FullHits, 100*r.PartialHitRate())
+	out := fmt.Sprintf("Continuous ingest (%d %s slots, %d ticks): %d cold / %d partial / %d full-hit plans, %.1f%% partial-hit rate\n",
+		r.Window, r.Mode, len(r.Ticks), r.ColdPlans, r.PartialHits, r.FullHits, 100*r.PartialHitRate())
 	out += fmt.Sprintf("total %.3fs wall, ≈%.3fs compute avoided by reuse\n", r.TotalSeconds, r.TotalSavedSeconds)
 	out += "tick  slot   cache    wall(s)  plan(s)  C/L/P     saved(s)\n"
 	for _, t := range r.Ticks {
@@ -157,10 +163,17 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (*IngestReport, error) {
 	defer sess.Close()
 
 	wl := workloads.NewIngest(window, cfg.Scale)
-	rep := &IngestReport{Window: window}
+	if cfg.Sliding {
+		wl = workloads.NewSlidingIngest(window, cfg.Scale)
+	}
+	rep := &IngestReport{Window: window, Mode: wl.Mode()}
 	for tick, slot := range schedule {
 		if slot >= 0 {
-			wl.Deliver(slot, tick+1)
+			if cfg.Sliding {
+				wl.Slide(tick + 1)
+			} else {
+				wl.Deliver(slot, tick+1)
+			}
 		}
 		tally.reset()
 		res, err := sess.Run(ctx, wl.Build())

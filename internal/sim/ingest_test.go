@@ -45,3 +45,49 @@ func TestContinuousIngest(t *testing.T) {
 	}
 	t.Logf("\n%s", rep.String())
 }
+
+// TestContinuousIngestSliding runs the same schedule with sliding-window
+// semantics: a delivery evicts the ring's oldest batch instead of
+// replacing a scheduled slot. The reuse profile must survive the switch —
+// a slide dirties exactly one slot chain plus the windowed suffix (the
+// synthesizer's param carries the ring head), so deliveries stay partial
+// plan-cache hits, quiet stretches still converge to full hits, and the
+// W-1 surviving slot chains are served from the store every tick.
+func TestContinuousIngestSliding(t *testing.T) {
+	rep, err := RunIngest(context.Background(), IngestConfig{
+		Window:      3,
+		Sliding:     true,
+		Scale:       workloads.Scale{},
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "sliding" {
+		t.Fatalf("mode = %q, want sliding", rep.Mode)
+	}
+	if rep.ColdPlans != 1 {
+		t.Errorf("cold plans = %d, want exactly 1 (tick 0): slides must not defeat incremental planning", rep.ColdPlans)
+	}
+	if rep.PartialHits == 0 {
+		t.Error("no partial plan-cache hits: a slide should dirty only one weak component")
+	}
+	if rep.FullHits == 0 {
+		t.Error("no full plan-cache hits: quiet stretches should reach a byte-stable fingerprint")
+	}
+	for _, tk := range rep.Ticks[1:] {
+		if tk.Loaded+tk.Pruned == 0 {
+			t.Errorf("tick %d: no loads or prunes — surviving window slots not reused", tk.Tick)
+		}
+		// A slide can dirty at most one 3-node slot chain plus the 3-node
+		// windowed suffix; recomputing more means eviction invalidated a
+		// surviving batch.
+		if tk.Slot >= 0 && tk.Computed > 6 {
+			t.Errorf("tick %d: computed %d nodes on a slide, want ≤ 6 (one chain + suffix)", tk.Tick, tk.Computed)
+		}
+	}
+	if rep.TotalSavedSeconds <= 0 {
+		t.Errorf("TotalSavedSeconds = %f, want > 0", rep.TotalSavedSeconds)
+	}
+	t.Logf("\n%s", rep.String())
+}

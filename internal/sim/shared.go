@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"helix"
+	"helix/internal/opt"
+	"helix/internal/workloads"
+)
+
+// SharedRun captures one session's run against a shared artifact store:
+// its wall-clock, how its plan was obtained, how many max-flow solves
+// the plan cost, and the plan's state mix. The Solves delta is the
+// cross-session plan-cache claim in its sharpest form — a warm session's
+// first plan must be a full hit with zero solves.
+type SharedRun struct {
+	Session   int
+	Tenant    string
+	Seconds   float64
+	PlanCache string
+	Solves    int64
+	Computes  int
+	Loads     int
+	Prunes    int
+}
+
+// SharedSeries is the outcome of RunSharedWarmStart: one cold session
+// that computes and publishes everything, warm sessions that rerun the
+// identical workflow, and one suffix session that reruns a mutated
+// variant sharing the workflow's prefix.
+type SharedSeries struct {
+	Workload string
+	// Cold is session 0's first run: an empty store, so every live node
+	// computes and the intermediates are published under their chain
+	// signatures.
+	Cold SharedRun
+	// Warm are later sessions' first runs of the identical workflow:
+	// everything answers from the shared store and the shared plan cache.
+	Warm []SharedRun
+	// Suffix is a session running the workload's first mutation: its DAG
+	// shares the unchanged prefix with the published artifacts, so only
+	// the mutated suffix computes.
+	Suffix SharedRun
+	// Artifacts / StorageBytes snapshot the store after the cold session
+	// settled; ArtifactsAfter re-counts after every other session ran.
+	// Equality of the two counts is the write-once dedup claim: warm
+	// sessions publish nothing new.
+	Artifacts      int
+	ArtifactsAfter int
+	StorageBytes   int64
+}
+
+// RunSharedWarmStart drives the cross-session reuse scenario: sessions+1
+// sessions attach to one shared store rooted at dir (a temp directory
+// when empty) and run the named workload. Session 0 runs it twice — the
+// cold publish, then a settle run that caches the steady-state plan —
+// and each of the remaining sessions runs it once, warm. A final session
+// applies the workload's first scheduled mutation and runs that, so the
+// series also measures prefix sharing under change.
+func RunSharedWarmStart(ctx context.Context, name string, scale workloads.Scale, seed int64, sessions int, dir string) (*SharedSeries, error) {
+	if sessions < 2 {
+		return nil, fmt.Errorf("sim: shared warm start needs at least 2 sessions, got %d", sessions)
+	}
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "helix-shared-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	shared, err := helix.OpenSharedStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer shared.Close()
+
+	var tally runTally
+	// One run of one session: fresh workload instance (mutations are
+	// stateful), fresh session attached to the shared store under its own
+	// tenant label, paper-faithful inline materialization so the cold
+	// session's publish cost is visible in its wall-clock.
+	runOnce := func(i int, mutate bool) (SharedRun, error) {
+		wl, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return SharedRun{}, err
+		}
+		runs := 1
+		if i == 0 {
+			runs = 2 // cold publish + settle (caches the steady-state plan)
+		}
+		tenant := fmt.Sprintf("tenant-%d", i)
+		sess, err := helix.Open("", helix.WithSharedStore(shared),
+			helix.WithTenant(tenant),
+			helix.WithDiskThroughput(PaperDiskBytesPerSec),
+			helix.WithSyncMaterialization(true),
+			helix.WithObserver(tally.observe))
+		if err != nil {
+			return SharedRun{}, err
+		}
+		defer sess.Close()
+		if mutate {
+			seq := wl.Sequence()
+			if len(seq) > 1 {
+				wl.Mutate(1, seq[1])
+			}
+		}
+		var first SharedRun
+		for r := 0; r < runs; r++ {
+			tally.reset()
+			before := opt.SolveCount()
+			out, err := sess.Run(ctx, wl.Build())
+			if err != nil {
+				return SharedRun{}, fmt.Errorf("sim: shared session %d run %d: %w", i, r, err)
+			}
+			if r > 0 {
+				continue
+			}
+			first = SharedRun{
+				Session: i,
+				Tenant:  tenant,
+				Seconds: out.Wall.Seconds() + out.FlushWait.Seconds(),
+				Solves:  opt.SolveCount() - before,
+			}
+			if p := tally.plan; p != nil {
+				first.PlanCache = p.Outcome.String()
+				first.Computes, first.Loads, first.Prunes = p.Compute, p.Load, p.Prune
+			}
+		}
+		return first, nil
+	}
+
+	res := &SharedSeries{Workload: name}
+	if res.Cold, err = runOnce(0, false); err != nil {
+		return nil, err
+	}
+	res.Artifacts = shared.Artifacts()
+	res.StorageBytes = shared.StorageBytes()
+	for i := 1; i < sessions; i++ {
+		warm, err := runOnce(i, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Warm = append(res.Warm, warm)
+	}
+	res.ArtifactsAfter = shared.Artifacts()
+	if res.Suffix, err = runOnce(sessions, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

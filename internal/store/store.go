@@ -66,6 +66,15 @@ type Entry struct {
 	Size      int64         `json:"size"` // bytes on disk
 	WriteTime time.Duration `json:"write_time"`
 	Iteration int           `json:"iteration"` // iteration that produced it
+	// Tenant labels which tenant namespace published the entry (shared
+	// mode only; empty for private stores). Accounting, not access control:
+	// artifacts are shared across tenants by content address.
+	Tenant string `json:"tenant,omitempty"`
+	// Refs is the number of live attachments pinning the entry at the time
+	// the manifest was snapshotted (shared mode only). Diagnostic: the
+	// in-memory pin table is authoritative, and a fresh open starts with
+	// zero live sessions regardless of the persisted counts.
+	Refs int `json:"refs,omitempty"`
 }
 
 // shardCount is the number of entry-table shards. Power of two so the
@@ -125,6 +134,11 @@ type Store struct {
 	manifestDirty atomic.Bool
 
 	wp writerPool
+
+	// shared is non-nil when the store was opened via OpenShared: publish
+	// becomes content-addressed write-once and Purge respects attachment
+	// pins. See shared.go.
+	shared *sharedState
 }
 
 // codec returns the effective value codec.
@@ -233,19 +247,52 @@ func (s *Store) EstimateLoad(size int64) time.Duration {
 // observe a half-updated file/manifest pair; no shard lock is held during
 // I/O. The manifest is flushed before returning.
 func (s *Store) PutBytes(key, name string, data []byte, iteration int) (Entry, error) {
-	return s.putBytes(key, name, data, iteration, true)
+	e, _, err := s.putBytes(key, name, data, iteration, "", true)
+	return e, err
+}
+
+// PutBytesTenant is PutBytes with a tenant label for shared-mode byte
+// accounting. The second result reports whether the payload actually
+// landed: false (with a nil error) means the signature was already
+// published — content-addressed dedup — and the caller may refund any
+// budget it reserved for the write.
+func (s *Store) PutBytesTenant(key, name string, data []byte, iteration int, tenant string) (Entry, bool, error) {
+	return s.putBytes(key, name, data, iteration, tenant, true)
 }
 
 // putBytes is PutBytes with the manifest flush optional: the write-behind
 // pool passes syncManifest=false and defers the (whole-table) manifest
 // rewrite to the Flush barrier, so N background writes cost one manifest
 // flush instead of N serialized ones.
-func (s *Store) putBytes(key, name string, data []byte, iteration int, syncManifest bool) (Entry, error) {
+//
+// The payload lands atomically: it is written to a same-directory temp
+// file and renamed over the final path, so no reader — in this process or
+// any other session attached to a shared store — can observe a partially
+// written artifact. In shared mode the publish is additionally write-once:
+// if the key is already present when the per-key lock is acquired, the
+// write is skipped (same signature ⇒ equivalent value, Definition 3) and
+// the existing entry is returned with written=false.
+func (s *Store) putBytes(key, name string, data []byte, iteration int, tenant string, syncManifest bool) (Entry, bool, error) {
 	start := time.Now()
 	s.keyLocks.lock(key)
-	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
+	if s.shared != nil {
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		e, ok := sh.entries[key]
+		sh.mu.Unlock()
+		if ok {
+			s.keyLocks.unlock(key)
+			return e, false, nil
+		}
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		s.keyLocks.unlock(key)
-		return Entry{}, fmt.Errorf("store: write %q: %w", key, err)
+		return Entry{}, false, fmt.Errorf("store: write %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		s.keyLocks.unlock(key)
+		return Entry{}, false, fmt.Errorf("store: publish %q: %w", key, err)
 	}
 	s.throttle(int64(len(data)))
 	e := Entry{
@@ -254,6 +301,7 @@ func (s *Store) putBytes(key, name string, data []byte, iteration int, syncManif
 		Size:      int64(len(data)),
 		WriteTime: time.Since(start),
 		Iteration: iteration,
+		Tenant:    tenant,
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
@@ -262,12 +310,12 @@ func (s *Store) putBytes(key, name string, data []byte, iteration int, syncManif
 	s.keyLocks.unlock(key)
 	if !syncManifest {
 		s.manifestDirty.Store(true)
-		return e, nil
+		return e, true, nil
 	}
 	if err := s.flushManifest(); err != nil {
-		return e, err
+		return e, true, err
 	}
-	return e, nil
+	return e, true, nil
 }
 
 // Put encodes (with the store's codec) and writes a value under key.
@@ -381,6 +429,13 @@ func (s *Store) Delete(key string) error {
 // bytes freed. Used to deprecate old results when operators change (paper
 // §6.6: "HELIX purges any previous materialization of original operators
 // prior to execution").
+//
+// In shared mode an entry pinned by any live attachment is never purged,
+// regardless of keep: a pin means some attached session's last executed
+// plan depends on the artifact, and evicting it under that session would
+// invalidate results it may still load. The pin check is re-taken per key
+// at deletion time, so a Repin that lands between the snapshot and the
+// delete still protects its entries.
 func (s *Store) Purge(keep func(key string) bool) (freed int64, err error) {
 	// Snapshot first: keep may call back into the store (e.g. Entry), so it
 	// must run without any shard lock held.
@@ -392,6 +447,9 @@ func (s *Store) Purge(keep func(key string) bool) (freed int64, err error) {
 		}
 	}
 	for _, k := range doomed {
+		if s.shared != nil && s.Pinned(k) {
+			continue
+		}
 		s.keyLocks.lock(k)
 		sh := s.shardFor(k)
 		sh.mu.Lock()
@@ -455,13 +513,21 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
-// snapshotEntries collects a point-in-time copy of the entry table.
+// snapshotEntries collects a point-in-time copy of the entry table. In
+// shared mode each entry's Refs field is stamped with the current live
+// pin count (taken before the shard locks — pin and shard locks never
+// nest).
 func (s *Store) snapshotEntries() []Entry {
+	var refs map[string]int
+	if s.shared != nil {
+		refs = s.shared.refCounts()
+	}
 	var entries []Entry
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for _, e := range sh.entries {
+			e.Refs = refs[e.Key]
 			entries = append(entries, e)
 		}
 		sh.mu.Unlock()

@@ -25,6 +25,10 @@ type WriteRequest struct {
 	Name      string
 	Iteration int
 
+	// Tenant labels the publishing tenant for shared-mode byte accounting;
+	// empty for private stores.
+	Tenant string
+
 	// Value is encoded on the writer goroutine when Data is nil. The pool
 	// holds the only required reference: callers may drop theirs
 	// immediately after PutAsync returns (eager cache pruning, §5.4).
@@ -48,7 +52,10 @@ type WriteRequest struct {
 
 // WriteOutcome reports how one WriteRequest ended.
 type WriteOutcome struct {
-	// Entry is the recorded entry; zero unless Written.
+	// Entry is the recorded entry; zero unless Written, except when a
+	// shared-mode publish found the signature already on disk — then it is
+	// the existing entry (Written false, Err nil), so callers can refund
+	// budget reserved for the deduplicated write.
 	Entry Entry
 	// Written reports whether the payload landed in the store. False when
 	// Decide declined, an equivalent entry already existed, or Err is set.
@@ -167,9 +174,11 @@ func (s *Store) writerLoop() {
 // barrier instead of rewritten per write.
 func (s *Store) processWrite(req WriteRequest, syncManifest bool) WriteOutcome {
 	start := time.Now()
-	if s.Has(req.Key) {
-		// An equivalent result landed since the request was enqueued.
-		return WriteOutcome{Secs: time.Since(start).Seconds()}
+	if ent, ok := s.Entry(req.Key); ok {
+		// An equivalent result landed since the request was enqueued. The
+		// existing entry is reported so callers can refund reserved budget
+		// and adopt the artifact's size.
+		return WriteOutcome{Entry: ent, Secs: time.Since(start).Seconds()}
 	}
 	data := req.Data
 	if data == nil {
@@ -184,10 +193,10 @@ func (s *Store) processWrite(req WriteRequest, syncManifest bool) WriteOutcome {
 	if req.Decide != nil && !req.Decide(int64(len(data))) {
 		return WriteOutcome{Secs: time.Since(start).Seconds()}
 	}
-	ent, err := s.putBytes(req.Key, req.Name, data, req.Iteration, syncManifest)
+	ent, wrote, err := s.putBytes(req.Key, req.Name, data, req.Iteration, req.Tenant, syncManifest)
 	return WriteOutcome{
 		Entry:   ent,
-		Written: err == nil,
+		Written: wrote && err == nil,
 		Err:     err,
 		Secs:    time.Since(start).Seconds(),
 	}

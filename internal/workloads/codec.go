@@ -1,0 +1,297 @@
+package workloads
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"helix/internal/data"
+	"helix/internal/ml"
+	"helix/internal/store"
+)
+
+// The built-in workloads' row types flow between operators in bulk —
+// tens of thousands of parsed census rows, feature columns, and score
+// vectors per materialization. Without an extension the binary codec
+// routes them through its gob escape hatch, which re-describes the type
+// per artifact and stores each map key once per row. The extensions here
+// encode them columnarly: string values interned across the whole slice,
+// float columns flat, bool flags bit-packed.
+//
+// Registration happens in init (not RegisterAll, which is called once
+// per test and RegisterExt panics on duplicates). The Name strings are
+// the on-disk type tags — renaming one orphans published artifacts.
+func init() {
+	store.RegisterExt(store.Ext{
+		Name:   "workloads.TaggedRows",
+		Type:   reflect.TypeOf([]TaggedRow(nil)),
+		Encode: encodeTaggedRows,
+		Decode: decodeTaggedRows,
+	})
+	store.RegisterExt(store.Ext{
+		Name:   "workloads.Column",
+		Type:   reflect.TypeOf(Column{}),
+		Encode: encodeColumn,
+		Decode: decodeColumn,
+	})
+	store.RegisterExt(store.Ext{
+		Name:   "workloads.Predictions",
+		Type:   reflect.TypeOf(Predictions{}),
+		Encode: encodePredictions,
+		Decode: decodePredictions,
+	})
+}
+
+// packBools bit-packs a bool column; Writer.Bytes carries the length.
+func packBools(w *store.Writer, v []bool) {
+	w.Uvarint(uint64(len(v)))
+	packed := make([]byte, (len(v)+7)/8)
+	for i, b := range v {
+		if b {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.Bytes(packed)
+}
+
+func unpackBools(r *store.Reader) ([]bool, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	packed, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(packed)) != (n+7)/8 {
+		return nil, fmt.Errorf("bool column: %d bits in %d bytes", n, len(packed))
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	return v, nil
+}
+
+// encodeTaggedRows stores parsed census rows key-major: the union of
+// field names once, then per field a presence bitmap and the present
+// values. CSV rows share one schema, so the presence bitmaps are all-ones
+// in practice and every cell is an interned-string backreference.
+func encodeTaggedRows(w *store.Writer, v any) error {
+	rows := v.([]TaggedRow)
+	w.Uvarint(uint64(len(rows)))
+	train := make([]bool, len(rows))
+	keySet := map[string]bool{}
+	for i, tr := range rows {
+		train[i] = tr.Train
+		for k := range tr.Row {
+			keySet[k] = true
+		}
+	}
+	packBools(w, train)
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		present := make([]bool, len(rows))
+		for i, tr := range rows {
+			_, present[i] = tr.Row[k]
+		}
+		packBools(w, present)
+		for i, tr := range rows {
+			if present[i] {
+				w.String(tr.Row[k])
+			}
+		}
+	}
+	return nil
+}
+
+func decodeTaggedRows(r *store.Reader) (any, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	train, err := unpackBools(r)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(train)) != n {
+		return nil, fmt.Errorf("tagged rows: %d rows, %d train flags", n, len(train))
+	}
+	rows := make([]TaggedRow, n)
+	for i := range rows {
+		rows[i] = TaggedRow{Row: make(data.Row), Train: train[i]}
+	}
+	nk, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < nk; k++ {
+		key, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		present, err := unpackBools(r)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(present)) != n {
+			return nil, fmt.Errorf("tagged rows: field %q has %d presence flags for %d rows", key, len(present), n)
+		}
+		for i, p := range present {
+			if !p {
+				continue
+			}
+			val, err := r.String()
+			if err != nil {
+				return nil, err
+			}
+			rows[i].Row[key] = val
+		}
+	}
+	return rows, nil
+}
+
+// encodeColumn splits an extractor column into a numeric-or-categorical
+// bitmap, a flat float column for the numeric cells, and interned strings
+// for the categorical ones.
+func encodeColumn(w *store.Writer, v any) error {
+	c := v.(Column)
+	w.String(c.Name)
+	isNum := make([]bool, len(c.Values))
+	var nums []float64
+	for i, fv := range c.Values {
+		isNum[i] = fv.IsNumber
+		if fv.IsNumber {
+			nums = append(nums, fv.Num)
+		}
+	}
+	packBools(w, isNum)
+	w.Float64s(nums)
+	for _, fv := range c.Values {
+		if !fv.IsNumber {
+			w.String(fv.Str)
+		}
+	}
+	return nil
+}
+
+func decodeColumn(r *store.Reader) (any, error) {
+	name, err := r.String()
+	if err != nil {
+		return nil, err
+	}
+	isNum, err := unpackBools(r)
+	if err != nil {
+		return nil, err
+	}
+	nums, err := r.Float64s()
+	if err != nil {
+		return nil, err
+	}
+	values := make([]ml.FeatureValue, len(isNum))
+	ni := 0
+	for i, num := range isNum {
+		if !num {
+			continue
+		}
+		if ni >= len(nums) {
+			return nil, fmt.Errorf("column %q: numeric cells exceed float column (%d)", name, len(nums))
+		}
+		values[i] = ml.FeatureValue{Num: nums[ni], IsNumber: true}
+		ni++
+	}
+	if ni != len(nums) {
+		return nil, fmt.Errorf("column %q: %d floats for %d numeric cells", name, len(nums), ni)
+	}
+	for i, num := range isNum {
+		if num {
+			continue
+		}
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		values[i] = ml.FeatureValue{Str: s}
+	}
+	return Column{Name: name, Values: values}, nil
+}
+
+// floatColumn writes a float column, downgrading to varints when every
+// value is integral — class-label columns are 0/1, which gob packs into
+// a byte or two per value and a flat 8-byte column would inflate 4-8×.
+func floatColumn(w *store.Writer, fs []float64) {
+	integral := true
+	for _, f := range fs {
+		if f != float64(int64(f)) {
+			integral = false
+			break
+		}
+	}
+	w.Bool(integral)
+	if !integral {
+		w.Float64s(fs)
+		return
+	}
+	w.Uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		w.Varint(int64(f))
+	}
+}
+
+func readFloatColumn(r *store.Reader) ([]float64, error) {
+	integral, err := r.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !integral {
+		return r.Float64s()
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	fs := make([]float64, n)
+	for i := range fs {
+		v, err := r.Varint()
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = float64(v)
+	}
+	return fs, nil
+}
+
+// encodePredictions stores a model's inference output as two flat float
+// columns and a bit-packed split flag — 17 bytes/row under gob, ~8 here.
+func encodePredictions(w *store.Writer, v any) error {
+	p := v.(Predictions)
+	floatColumn(w, p.Scores)
+	floatColumn(w, p.Labels)
+	packBools(w, p.Train)
+	return nil
+}
+
+func decodePredictions(r *store.Reader) (any, error) {
+	scores, err := readFloatColumn(r)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := readFloatColumn(r)
+	if err != nil {
+		return nil, err
+	}
+	train, err := unpackBools(r)
+	if err != nil {
+		return nil, err
+	}
+	return Predictions{Scores: scores, Labels: labels, Train: train}, nil
+}

@@ -1,0 +1,87 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"helix/internal/data"
+	"helix/internal/ml"
+	"helix/internal/store"
+)
+
+// TestCodecExtRoundTrip drives each registered workload extension through
+// the binary codec's full Encode/Decode path and demands exact value
+// equality, plus a size win over the gob escape hatch the extension
+// replaces — the point of registering at all.
+func TestCodecExtRoundTrip(t *testing.T) {
+	RegisterAll()
+
+	rows := make([]TaggedRow, 400)
+	for i := range rows {
+		rows[i] = TaggedRow{
+			Row: data.Row{
+				"age":       fmt.Sprint(20 + i%60),
+				"workclass": []string{"private", "state", "self"}[i%3],
+				"income":    []string{"<=50K", ">50K"}[i%2],
+			},
+			Train: i%4 != 0,
+		}
+	}
+	// One ragged row: schemas are uniform in practice, but the presence
+	// bitmaps must survive a row missing a field.
+	delete(rows[7].Row, "workclass")
+
+	col := Column{Name: "age", Values: make([]ml.FeatureValue, 400)}
+	for i := range col.Values {
+		if i%5 == 0 {
+			col.Values[i] = ml.Cat([]string{"low", "mid", "high"}[i%3])
+		} else {
+			col.Values[i] = ml.Num(float64(i) / 7)
+		}
+	}
+
+	preds := Predictions{
+		Scores: make([]float64, 400),
+		Labels: make([]float64, 400),
+		Train:  make([]bool, 400),
+	}
+	for i := range preds.Scores {
+		// Full-precision sigmoid outputs, like a real fitted model emits.
+		preds.Scores[i] = 1 / (1 + math.Exp(-float64(i-200)/37))
+		preds.Labels[i] = float64(i % 2)
+		preds.Train[i] = i%4 != 0
+	}
+
+	for _, tc := range []struct {
+		name  string
+		value any
+	}{
+		{"tagged-rows", rows},
+		{"column", col},
+		{"predictions", preds},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bin, err := store.BinaryCodec{}.Encode(tc.value)
+			if err != nil {
+				t.Fatalf("binary encode: %v", err)
+			}
+			back, err := store.BinaryCodec{}.Decode(bin)
+			if err != nil {
+				t.Fatalf("binary decode: %v", err)
+			}
+			if !reflect.DeepEqual(back, tc.value) {
+				t.Fatalf("round trip changed value:\n got %#v\nwant %#v", back, tc.value)
+			}
+			gob, err := store.GobCodec{}.Encode(tc.value)
+			if err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			if len(bin) >= len(gob) {
+				t.Fatalf("columnar encoding not smaller: binary %dB vs gob %dB", len(bin), len(gob))
+			}
+			t.Logf("binary %dB vs gob %dB (%.1f×)", len(bin), len(gob), float64(len(gob))/float64(len(bin)))
+		})
+	}
+}

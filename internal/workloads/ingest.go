@@ -35,6 +35,11 @@ type Ingest struct {
 	rows   int
 	// batch holds the current batch id per slot; Deliver bumps one.
 	batch []int
+	// sliding switches the window semantics: Slide evicts the oldest
+	// slot (a ring buffer) and the synthesizer concatenates slots in
+	// arrival order. head indexes the oldest slot.
+	sliding bool
+	head    int
 }
 
 // Per-operator simulated compute costs. Parse and feat dominate so that
@@ -64,16 +69,47 @@ func NewIngest(window int, scale Scale) *Ingest {
 	}
 }
 
+// NewSlidingIngest returns the sliding-window variant of the pipeline:
+// instead of a delivery replacing a schedule-chosen slot in place
+// (tumbling), each Slide evicts the oldest batch from a ring of Window
+// slots and the window synthesizer concatenates the slots oldest-first.
+// The slot chains keep their stable names, so a slide still dirties
+// exactly one source chain; only the synthesizer's param (which records
+// the ring's head) changes besides it, which is what keeps delivery
+// ticks partial plan-cache hits rather than cold solves.
+func NewSlidingIngest(window int, scale Scale) *Ingest {
+	g := NewIngest(window, scale)
+	g.sliding = true
+	return g
+}
+
 // Name identifies the workload.
 func (g *Ingest) Name() string { return "ingest" }
 
 // Window returns the number of batch slots.
 func (g *Ingest) Window() int { return g.window }
 
+// Mode reports the window semantics: "tumbling" or "sliding".
+func (g *Ingest) Mode() string {
+	if g.sliding {
+		return "sliding"
+	}
+	return "tumbling"
+}
+
 // Deliver records the arrival of a new batch in the given slot; the next
 // Build reflects it. Batch ids need only be distinct per slot over time.
+// Sliding-window pipelines use Slide instead.
 func (g *Ingest) Deliver(slot, batchID int) {
 	g.batch[slot%g.window] = batchID
+}
+
+// Slide pushes a new batch into a sliding window: the oldest slot is
+// overwritten in place and the ring head advances, so the W-1 surviving
+// batches keep their slot (and their materialized chain) byte-identical.
+func (g *Ingest) Slide(batchID int) {
+	g.batch[g.head] = batchID
+	g.head = (g.head + 1) % g.window
 }
 
 // Build constructs the workflow for the slots' current batch ids.
@@ -118,12 +154,29 @@ func (g *Ingest) Build() *helix.Workflow {
 			}, parse)
 	}
 
-	win := wf.Synthesizer("window", fmt.Sprintf("tumbling w=%d v1", g.window),
+	// Tumbling windows concatenate slots in slot order with a fixed
+	// param; sliding windows concatenate oldest-first. The rotation
+	// happens inside the operator body — NOT by reordering the
+	// synthesizer's parents — so the DAG topology is byte-stable across
+	// slides and the plan cache keeps serving partial hits; the param
+	// records the ring head, which is what carries the reordering into
+	// the chain signature.
+	winParam := fmt.Sprintf("tumbling w=%d v1", g.window)
+	if g.sliding {
+		winParam = fmt.Sprintf("sliding w=%d head=%d v1", g.window, g.head)
+	}
+	head := g.head
+	sliding := g.sliding
+	win := wf.Synthesizer("window", winParam,
 		func(ctx context.Context, in []helix.Value) (helix.Value, error) {
 			time.Sleep(sleepWindow)
 			var out []float64
-			for _, v := range in {
-				out = append(out, v.([]float64)...)
+			for i := range in {
+				j := i
+				if sliding {
+					j = (head + i) % len(in)
+				}
+				out = append(out, in[j].([]float64)...)
 			}
 			return out, nil
 		}, feats...)

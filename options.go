@@ -36,6 +36,14 @@ type config struct {
 	o         Options
 	ioWorkers int
 	observer  RunObserver
+	// shared attaches the session to a cross-session content-addressed
+	// store + plan cache (WithSharedStore); nil opens a private store.
+	shared *SharedStore
+	// tenant labels published artifacts for shared-store byte accounting
+	// (WithTenant). Deliberately not part of configToken: tenants under
+	// identical configurations share plans — only byte accounting is
+	// namespaced.
+	tenant string
 	// runScope records which scope the options are being applied at, for
 	// options whose scope depends on their arguments (WithWorkerClass).
 	runScope bool

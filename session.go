@@ -179,6 +179,13 @@ type Session struct {
 	store  *store.Store
 	engine *exec.Engine
 	dir    string
+	// att is the session's handle on a shared store (WithSharedStore);
+	// nil for a private store. When set, the session detaches on Close
+	// instead of closing the store, pins its last executed plan's
+	// signatures against purging, and skips session.json persistence —
+	// many sessions share one directory, and cross-session reuse flows
+	// through the content-addressed store and shared plan cache instead.
+	att *store.Attachment
 	// base is the session-scoped configuration Open resolved; Run/Plan
 	// copy it and layer run-scoped overrides on the copy.
 	base config
@@ -244,24 +251,52 @@ func Open(dir string, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := store.Open(dir)
-	if err != nil {
-		return nil, err
-	}
-	st.DiskBytesPerSec = cfg.o.DiskBytesPerSec
-	st.Writers = cfg.o.MatWriters
-	if cfg.o.Codec == CodecGob {
-		st.Codec = store.GobCodec{}
+	var (
+		st  *store.Store
+		att *store.Attachment
+	)
+	if cfg.shared != nil {
+		// Shared mode: attach to the cross-session store (dir is ignored —
+		// the store owns its directory). Store-level settings were either
+		// adopted from this config (first attach) or validated against the
+		// first session's (ErrSharedConfig on conflict).
+		att, err = cfg.shared.attach(&cfg)
+		if err != nil {
+			return nil, err
+		}
+		st = att.Store()
+	} else {
+		st, err = store.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		st.DiskBytesPerSec = cfg.o.DiskBytesPerSec
+		st.Writers = cfg.o.MatWriters
+		if cfg.o.Codec == CodecGob {
+			st.Codec = store.GobCodec{}
+		}
 	}
 	s := &Session{
 		store:    st,
-		dir:      dir,
+		att:      att,
+		dir:      st.Dir(),
 		base:     cfg,
 		policies: map[string]opt.MatPolicy{cfg.policyKey(): pol},
 	}
 	s.runDone = sync.NewCond(&s.mu)
 	s.engine = &exec.Engine{Store: st, Opts: s.execOptions(&cfg, pol)}
-	if cfg.o.PlanCache != PlanCacheOff {
+	switch {
+	case cfg.shared != nil:
+		// The process-wide plan cache + frozen statistics board replace the
+		// per-session MRU: a workflow any attached session planned is a
+		// zero-solve fingerprint hit for every other session under the same
+		// configuration (the config token is still hashed per call, so
+		// differing configurations never share decisions).
+		s.engine.Shared = cfg.shared.cache
+		if cfg.o.PlanCache != PlanCacheOff {
+			s.engine.Cache = cfg.shared.cache.Cache()
+		}
+	case cfg.o.PlanCache != PlanCacheOff:
 		// The config token pins every engine-level setting plan reuse
 		// must be conditioned on: a run under a different policy, budget,
 		// threshold, domain, or parallelism — whether a differently
@@ -269,7 +304,12 @@ func Open(dir string, opts ...Option) (*Session, error) {
 		// differently and can never reuse this configuration's decisions.
 		s.engine.Cache = plan.NewCache(cfg.configToken())
 	}
-	s.loadState()
+	if att == nil {
+		// session.json is per-session state; shared-mode sessions share one
+		// directory and resume reuse through the content-addressed store
+		// and shared plan cache instead.
+		s.loadState()
+	}
 	return s, nil
 }
 
@@ -355,6 +395,8 @@ func (s *Session) execOptions(cfg *config, pol opt.MatPolicy) exec.Options {
 		IOWorkers:           cfg.ioWorkers,
 		ConfigToken:         cfg.configToken(),
 		Observer:            cfg.observer,
+		Shared:              cfg.shared != nil,
+		Tenant:              cfg.tenant,
 	}
 }
 
@@ -550,12 +592,25 @@ func (s *Session) Run(ctx context.Context, wf *Workflow, opts ...Option) (*Resul
 	// modes), it never fails the iteration — the computed outputs are
 	// already in hand.
 	_ = s.store.Flush()
+	if s.att != nil {
+		// Pin this run's full signature set: everything the session's
+		// current results load from (or could re-load from) is now
+		// protected from another session's purge until the next Run
+		// replaces the pins or Close releases them.
+		sigs := make([]string, 0, len(res.Plan.Nodes))
+		for _, np := range res.Plan.Nodes {
+			sigs = append(sigs, np.Node.ChainSignature())
+		}
+		s.att.Repin(sigs)
+	}
 	s.mu.Lock()
 	s.recordHistory(wf, res, started, changedOperators(prog.DAG, prev))
 	s.prev = prog.DAG
 	s.iter++
 	s.mu.Unlock()
-	s.saveState()
+	if s.att == nil {
+		s.saveState()
+	}
 	return res, nil
 }
 
@@ -591,6 +646,12 @@ func (s *Session) Close() error {
 		s.runDone.Wait()
 	}
 	s.mu.Unlock()
+	if s.att != nil {
+		// Shared store: flush this session's writes and release its pins;
+		// the store itself stays open for other sessions and is torn down
+		// by SharedStore.Close.
+		return s.att.Detach()
+	}
 	s.saveState()
 	return s.store.Close()
 }
