@@ -9,7 +9,7 @@
 //	helixbench -exp table2              # use-case support matrix
 //
 // Experiments: table1, table2, fig5, fig6, fig7a, fig7b, fig8, fig9,
-// fig10, ablation, writebehind, ingest, headline, all.
+// fig10, ablation, writebehind, ingest, adaptive, headline, all.
 package main
 
 import (
@@ -29,11 +29,11 @@ var experiments = map[string]bool{
 	"table1": true, "table2": true, "fig5": true, "fig6": true,
 	"fig7a": true, "fig7b": true, "fig8": true, "fig9": true,
 	"fig10": true, "ablation": true, "writebehind": true,
-	"ingest": true, "headline": true,
+	"ingest": true, "adaptive": true, "headline": true,
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|writebehind|ingest|headline|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|fig5|fig6|fig7a|fig7b|fig8|fig9|fig10|ablation|writebehind|ingest|adaptive|headline|all)")
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	cost := flag.Int("cost", 40, "NLP parse cost factor")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -132,6 +132,11 @@ func main() {
 	}
 	if run("ingest") {
 		r, err := bench.Ingest(ctx, cfg)
+		fail(err)
+		fmt.Print(r.String())
+	}
+	if run("adaptive") {
+		r, err := bench.Adaptive(ctx, cfg)
 		fail(err)
 		fmt.Print(r.String())
 	}

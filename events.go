@@ -13,13 +13,17 @@ import "helix/internal/exec"
 // An iteration's stream is, in order: one PlanEvent (how the plan was
 // obtained and what it projects), then interleaved NodeEvents (a
 // NodeStarted/NodeRetired pair per executing live node; solver-pruned
-// live nodes retire immediately without starting), one FlushEvent (the
-// write-behind barrier), and — on success only — one DoneEvent. A failed
-// run's stream simply ends; the error reaches the Run caller.
+// live nodes retire immediately without starting) with zero or more
+// ReplanEvents mixed in when WithAdaptive armed the divergence monitor,
+// one FlushEvent (the write-behind barrier), and — on success only — one
+// RunStatsEvent (planner health: cache outcome, solves, re-plans)
+// followed by one DoneEvent. A failed run's stream simply ends; the
+// error reaches the Run caller.
 type RunObserver = exec.Observer
 
 // RunEvent is one structured occurrence within a running iteration.
-// Concrete types: PlanEvent, NodeEvent, FlushEvent, DoneEvent.
+// Concrete types: PlanEvent, NodeEvent, ReplanEvent, FlushEvent,
+// RunStatsEvent, DoneEvent.
 type RunEvent = exec.Event
 
 // PlanEvent reports the plan an iteration is about to execute: the
@@ -31,9 +35,20 @@ type PlanEvent = exec.PlanEvent
 // NodeEvent reports one operator's lifecycle transition (see NodePhase).
 type NodeEvent = exec.NodeEvent
 
+// ReplanEvent reports one mid-run re-planning attempt by the adaptive
+// divergence monitor (WithAdaptive): measured times diverged past the
+// threshold, frontier cost estimates were corrected from observation, and
+// the planner reconsidered the not-yet-started remainder of the run.
+type ReplanEvent = exec.ReplanEvent
+
 // FlushEvent reports the write-behind flush barrier after the last node
 // finished.
 type FlushEvent = exec.FlushEvent
+
+// RunStatsEvent summarizes the run's planner health — plan-cache outcome,
+// total max-flow solves (initial plan plus adaptive re-plans), re-plan
+// and swap counts. One per successful run, between flush and done.
+type RunStatsEvent = exec.RunStatsEvent
 
 // DoneEvent reports successful completion of the iteration.
 type DoneEvent = exec.DoneEvent

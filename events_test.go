@@ -134,7 +134,8 @@ func TestObserverEventStream(t *testing.T) {
 			}
 		}
 
-		// The stream ends with the flush barrier followed by done.
+		// The stream ends with the flush barrier, the planner-health
+		// stats, then done.
 		last, prev := events[len(events)-1], events[len(events)-2]
 		de, ok := last.(helix.DoneEvent)
 		if !ok {
@@ -143,9 +144,16 @@ func TestObserverEventStream(t *testing.T) {
 		if de.Iteration != iter || de.Wall != res.Wall || de.FlushWait != res.FlushWait {
 			t.Fatalf("done event %+v inconsistent with result (wall %v flush %v)", de, res.Wall, res.FlushWait)
 		}
-		fe, ok := prev.(helix.FlushEvent)
+		rs, ok := prev.(helix.RunStatsEvent)
 		if !ok {
-			t.Fatalf("iteration %d: penultimate event %T, want FlushEvent", iter, prev)
+			t.Fatalf("iteration %d: penultimate event %T, want RunStatsEvent", iter, prev)
+		}
+		if rs.Iteration != iter || rs.Outcome != res.Plan.Cache || rs.Replans != 0 {
+			t.Fatalf("run stats event %+v inconsistent with result (outcome %v)", rs, res.Plan.Cache)
+		}
+		fe, ok := events[len(events)-3].(helix.FlushEvent)
+		if !ok {
+			t.Fatalf("iteration %d: antepenultimate event %T, want FlushEvent", iter, events[len(events)-3])
 		}
 		if fe.Wait != res.FlushWait {
 			t.Fatalf("flush event wait %v, want %v", fe.Wait, res.FlushWait)

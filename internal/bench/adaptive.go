@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"context"
+
+	"helix/internal/sim"
+)
+
+// Adaptive runs the mid-run re-planning experiment: a fan workload whose
+// carried cost model is made ~20× wrong between ticks, executed once
+// statically and once with the run-scoped divergence monitor armed
+// (helix.WithAdaptive). The report carries per-tick wall time, the plan's
+// own T(W,s) projection and its residual gap, and the planner counters
+// (re-plan attempts, solves consumed, compute→load swaps) for both modes,
+// so the benchmark can assert both the speedup and the solve bounding.
+func Adaptive(ctx context.Context, cfg Config) (*sim.AdaptiveReport, error) {
+	return sim.RunAdaptive(ctx, sim.Config{Parallelism: 2}, 0)
+}

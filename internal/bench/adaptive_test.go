@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// adaptiveOutPath is where the adaptive re-planning benchmark writes its
+// static-versus-adaptive JSON report; override with
+// HELIX_BENCH_ADAPTIVE_OUT. CI uploads the file alongside BENCH_plan.json
+// so the skew-tick speedup, projection gap, and solve counts are tracked
+// per PR.
+func adaptiveOutPath() string {
+	if p := os.Getenv("HELIX_BENCH_ADAPTIVE_OUT"); p != "" {
+		return p
+	}
+	return "BENCH_adaptive.json"
+}
+
+// BenchmarkAdaptive runs the mid-run re-planning comparison
+// (internal/sim.RunAdaptive: a fan whose carried cost model turns ~20×
+// wrong on tick 1, executed statically and with the divergence monitor
+// armed) and records both per-tick series in BENCH_adaptive.json. The
+// acceptance shape is asserted: the adaptive run must re-plan, swap work
+// to loads, stay within the solve budget, and beat the static run
+// decisively on the skewed tick — so a monitor or solve-bounding
+// regression fails the benchmark rather than silently flattening the
+// report.
+func BenchmarkAdaptive(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		r, err := Adaptive(ctx, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		st, ad := r.Static.SkewTick(), r.Adaptive.SkewTick()
+		if ad.Replans < 1 || ad.Swapped < 1 {
+			b.Fatalf("adaptive skew tick never adapted: %+v", ad)
+		}
+		// Solve bounding: the initial solve plus at most the default budget
+		// of mid-run re-solves, even though re-plan attempts may exceed it.
+		if ad.Solves > 1+3 {
+			b.Fatalf("adaptive skew tick consumed %d solves, budget allows 4", ad.Solves)
+		}
+		if ad.Seconds >= st.Seconds*0.75 {
+			b.Fatalf("adaptive skew tick %.3fs not decisively faster than static %.3fs", ad.Seconds, st.Seconds)
+		}
+		b.ReportMetric(st.Seconds/ad.Seconds, "skew-speedup")
+		b.ReportMetric(float64(ad.Solves), "skew-solves")
+		b.ReportMetric(ad.GapSeconds, "skew-gap-sec")
+
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(adaptiveOutPath(), append(data, '\n'), 0o644); err != nil {
+			b.Fatalf("write %s: %v", adaptiveOutPath(), err)
+		}
+	}
+}

@@ -2,19 +2,48 @@ package bench
 
 import (
 	"context"
+	"fmt"
 
 	"helix/internal/sim"
 )
+
+// IngestComparison pairs the two window semantics of the continuous-ingest
+// experiment over the same delivery schedule: tumbling (a delivery
+// replaces its scheduled slot in place) and sliding (a delivery evicts the
+// oldest batch from the ring). Both series ride in BENCH_ingest.json so
+// the partial-hit rate and reuse savings of each mode are tracked per PR.
+type IngestComparison struct {
+	Tumbling *sim.IngestReport `json:"tumbling"`
+	Sliding  *sim.IngestReport `json:"sliding"`
+}
+
+// String renders both per-tick tables.
+func (c *IngestComparison) String() string {
+	return c.Tumbling.String() + "\n" + c.Sliding.String()
+}
 
 // Ingest runs the continuous-ingest experiment: the streaming mini-batch
 // adaptation (§5.3) as a long-lived session over the default delivery
 // schedule, reporting per-tick plan-cache outcomes (partial hits on
 // delivery ticks, full fingerprint hits on quiet stretches) and the
-// compute time reuse avoided.
-func Ingest(ctx context.Context, cfg Config) (*sim.IngestReport, error) {
-	return sim.RunIngest(ctx, sim.IngestConfig{
-		Window:      4,
-		Scale:       cfg.Scale,
-		Parallelism: 2,
-	})
+// compute time reuse avoided — once under tumbling and once under sliding
+// window semantics.
+func Ingest(ctx context.Context, cfg Config) (*IngestComparison, error) {
+	var c IngestComparison
+	for _, mode := range []struct {
+		dst     **sim.IngestReport
+		sliding bool
+	}{{&c.Tumbling, false}, {&c.Sliding, true}} {
+		rep, err := sim.RunIngest(ctx, sim.IngestConfig{
+			Window:      4,
+			Scale:       cfg.Scale,
+			Parallelism: 2,
+			Sliding:     mode.sliding,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: ingest (sliding=%v): %w", mode.sliding, err)
+		}
+		*mode.dst = rep
+	}
+	return &c, nil
 }

@@ -22,33 +22,40 @@ func ingestOutPath() string {
 
 // BenchmarkContinuousIngest runs the continuous-ingest simulation
 // (internal/sim.RunIngest: windowed batch slots, per-tick deliveries and
-// quiet stretches under a long-lived PolicyOpt session) and records the
-// per-tick plan-cache outcomes and reuse savings into BENCH_ingest.json.
-// The plan-cache acceptance shape — exactly one cold solve, >0 partial
-// hits, >0 full hits, positive savings — is asserted, so a planner or
-// fingerprint regression fails the benchmark rather than silently
-// flattening the report.
+// quiet stretches under a long-lived PolicyOpt session) under both window
+// semantics — tumbling and sliding — and records the two per-tick series
+// side by side in BENCH_ingest.json. The plan-cache acceptance shape —
+// exactly one cold solve, >0 partial hits, >0 full hits, positive savings
+// — is asserted for each mode, so a planner or fingerprint regression
+// fails the benchmark rather than silently flattening the report.
 func BenchmarkContinuousIngest(b *testing.B) {
 	ctx := context.Background()
-	var rep *sim.IngestReport
+	var cmp *IngestComparison
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = sim.RunIngest(ctx, sim.IngestConfig{Window: 4, Parallelism: 2})
+		cmp, err = Ingest(ctx, Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	if rep.ColdPlans != 1 || rep.PartialHits == 0 || rep.FullHits == 0 {
-		b.Fatalf("plan-cache shape regressed: %d cold / %d partial / %d full hits",
-			rep.ColdPlans, rep.PartialHits, rep.FullHits)
+	for _, mode := range []struct {
+		name string
+		rep  *sim.IngestReport
+	}{{"tumbling", cmp.Tumbling}, {"sliding", cmp.Sliding}} {
+		if mode.rep.ColdPlans != 1 || mode.rep.PartialHits == 0 || mode.rep.FullHits == 0 {
+			b.Fatalf("%s plan-cache shape regressed: %d cold / %d partial / %d full hits",
+				mode.name, mode.rep.ColdPlans, mode.rep.PartialHits, mode.rep.FullHits)
+		}
+		if mode.rep.TotalSavedSeconds <= 0 {
+			b.Fatalf("%s reuse savings = %f, want > 0", mode.name, mode.rep.TotalSavedSeconds)
+		}
 	}
-	if rep.TotalSavedSeconds <= 0 {
-		b.Fatalf("reuse savings = %f, want > 0", rep.TotalSavedSeconds)
-	}
-	b.ReportMetric(rep.PartialHitRate(), "partial-hit-rate")
-	b.ReportMetric(rep.TotalSavedSeconds, "saved-sec")
+	b.ReportMetric(cmp.Tumbling.PartialHitRate(), "partial-hit-rate")
+	b.ReportMetric(cmp.Tumbling.TotalSavedSeconds, "saved-sec")
+	b.ReportMetric(cmp.Sliding.PartialHitRate(), "sliding-partial-hit-rate")
+	b.ReportMetric(cmp.Sliding.TotalSavedSeconds, "sliding-saved-sec")
 
-	data, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(cmp, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}

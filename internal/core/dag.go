@@ -91,11 +91,20 @@ func (s State) String() string {
 
 // Metrics records the operator statistics used by the optimizers
 // (paper §5.1): compute time c_i, load time l_i, and on-disk size s_i.
+// Compute and Load are point estimates — when fed through ObserveCompute/
+// ObserveLoad they are the decayed means of the per-signature online
+// estimators carried alongside, rather than last-run values.
 type Metrics struct {
 	Compute time.Duration // c_i: time to compute from in-memory inputs
 	Load    time.Duration // l_i: time to load materialized result from disk
 	Size    int64         // s_i: bytes on disk when materialized
 	Known   bool          // whether metrics come from a measured run
+
+	// ComputeStat and LoadStat are the decayed online estimators behind
+	// the point estimates above; they carry across iterations (and
+	// through session snapshots) with the rest of the struct.
+	ComputeStat CostStat
+	LoadStat    CostStat
 }
 
 // Node is one vertex of the Workflow DAG: the output of a single operator.

@@ -142,6 +142,24 @@ type Options struct {
 	// Tenant labels this run's published artifacts for per-tenant byte
 	// accounting in a shared store; empty outside shared mode.
 	Tenant string
+	// AdaptiveThreshold, when > 0, arms the mid-run divergence monitor:
+	// whenever the cumulative measured time of completed nodes diverges
+	// from their plan-projected time by more than this relative fraction
+	// (e.g. 0.5 = 50%), the engine corrects the cost estimates of
+	// not-yet-started nodes from the timings observed so far and re-plans
+	// the frontier through the plan cache's partial path — completed
+	// nodes' cost keys are untouched, so only the weak components whose
+	// estimates moved are re-solved. Not-yet-started compute nodes whose
+	// corrected estimate makes loading cheaper are swapped to Load.
+	// Applies to Run/RunWith only; Execute carries a prebuilt plan out
+	// verbatim. ≤ 0 disables (the default).
+	AdaptiveThreshold float64
+	// AdaptiveMaxSolves bounds the extra max-flow solves mid-run
+	// re-planning may consume per run; once reached the monitor disarms.
+	// Re-plan attempts that hit the plan cache (or change no estimate)
+	// cost no solve and are not counted against it. ≤ 0 means the
+	// default of 3.
+	AdaptiveMaxSolves int
 }
 
 // SchedMode selects the scheduler's ready-queue ordering policy.
@@ -285,12 +303,21 @@ func (e *Engine) Plan(d *core.DAG, prev *core.DAG, iteration int) (*plan.Plan, e
 // ConfigToken flows into the plan fingerprint, so plans built under
 // differing configurations are never confused by the cache.
 func (e *Engine) PlanWith(d *core.DAG, prev *core.DAG, iteration int, opts Options) (*plan.Plan, error) {
+	return e.planWithView(d, prev, iteration, opts, storeView{e.Store}, false)
+}
+
+// planWithView is PlanWith with an injected store view and carry control:
+// the adaptive re-planner plans the initial plan and every mid-run
+// re-plan through one memoizing view (so the only fingerprint deltas are
+// its own deliberate metric corrections) and skips the metric carry on
+// re-plans (the DAG's current metrics are the corrections).
+func (e *Engine) planWithView(d *core.DAG, prev *core.DAG, iteration int, opts Options, view plan.MatView, skipCarry bool) (*plan.Plan, error) {
 	e.planMu.Lock()
 	defer e.planMu.Unlock()
 	pl := &plan.Planner{
 		// The planner's Options.DisableReuse is the single switch: it
 		// ignores the view and suppresses the purge spec by itself.
-		View: storeView{e.Store},
+		View: view,
 		Opts: plan.Options{
 			DisableReuse:       opts.DisableReuse,
 			DisablePruning:     opts.DisablePruning,
@@ -302,6 +329,7 @@ func (e *Engine) PlanWith(d *core.DAG, prev *core.DAG, iteration int, opts Optio
 		Shared:      e.Shared,
 		Solver:      &e.solver,
 		ConfigToken: opts.ConfigToken,
+		SkipCarry:   skipCarry,
 	}
 	p, err := pl.Plan(d, prev, iteration)
 	if err != nil {
@@ -352,6 +380,29 @@ type nodeRun struct {
 	unit      []*nodeRun
 	fusedInto *nodeRun
 	streamed  bool
+
+	// started is set (under the adaptive monitor's read lock, when armed)
+	// by the worker that claims the run; the re-planner only touches runs
+	// it observes unstarted under the write lock, so a claimed run's
+	// state and metrics are never written concurrently with execution.
+	started int32
+	// finished is set before the completion path's own pending check, so
+	// a swap-time pending decrement racing with it retires the node on
+	// exactly one side.
+	finished int32
+	// measured is the node's observed own duration (load or compute wall,
+	// per the final state); valid when measuredOK. Folding it into the
+	// node's carried Metrics is deferred to a single-threaded pass after
+	// the flush barrier so a mid-run re-plan sees completed nodes' cost
+	// keys byte-identical to the cached entry.
+	measured   time.Duration
+	measuredOK bool
+	// baseC is the compute estimate (seconds) the initial plan priced the
+	// node at; the divergence monitor's correction factors are expressed
+	// against this base so repeated corrections stay idempotent. proj is
+	// the node's current projected own time, refreshed by re-plans.
+	baseC float64
+	proj  float64
 }
 
 // Run plans and executes one iteration of the program. prev is the
@@ -369,7 +420,20 @@ func (e *Engine) Run(ctx context.Context, prog *Program, prev *core.DAG, iterati
 // run-scoped overrides.
 func (e *Engine) RunWith(ctx context.Context, prog *Program, prev *core.DAG, iteration int, opts Options) (*Result, error) {
 	start := time.Now()
-	p, err := e.PlanWith(prog.DAG, prev, iteration, opts)
+	var (
+		view plan.MatView = storeView{e.Store}
+		ad   *adaptState
+	)
+	if opts.AdaptiveThreshold > 0 {
+		// Adaptive mode plans the initial plan and every mid-run re-plan
+		// through one memoizing store view: artifacts published while the
+		// run executes are invisible to re-plans, so the only fingerprint
+		// deltas are the monitor's deliberate metric corrections.
+		sv := newSnapView(e.Store)
+		view = sv
+		ad = newAdaptState(e, prog.DAG, prev, opts, sv)
+	}
+	p, err := e.planWithView(prog.DAG, prev, iteration, opts, view, false)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +442,7 @@ func (e *Engine) RunWith(ctx context.Context, prog *Program, prev *core.DAG, ite
 	// stay on the bill exactly as when they lived inline here. The
 	// planning share is reported separately as Result.PlanTime, which is
 	// what the plan cache shrinks on fingerprint hits.
-	return e.execute(ctx, prog, p, start, time.Since(start), &opts)
+	return e.execute(ctx, prog, p, start, time.Since(start), &opts, ad)
 }
 
 // Execute carries out a previously built plan against the program it was
@@ -388,10 +452,10 @@ func (e *Engine) RunWith(ctx context.Context, prog *Program, prev *core.DAG, ite
 // bounded scheduler. Result.Wall is measured from Execute entry; Run
 // measures from its own entry so planning time is included there.
 func (e *Engine) Execute(ctx context.Context, prog *Program, p *plan.Plan) (*Result, error) {
-	return e.execute(ctx, prog, p, time.Now(), 0, &e.Opts)
+	return e.execute(ctx, prog, p, time.Now(), 0, &e.Opts, nil)
 }
 
-func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time, planTime time.Duration, opts *Options) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start time.Time, planTime time.Duration, opts *Options, ad *adaptState) (*Result, error) {
 	d := prog.DAG
 	// Fail fast on plan/program mispairing: fn lookup is by node pointer,
 	// so a plan built from a different Compile of even the same workflow
@@ -549,6 +613,9 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	for _, o := range d.Outputs() {
 		st.outputs[o] = true
 	}
+	if ad != nil {
+		ad.arm(st, runs)
+	}
 
 	e.schedule(rctx, st, runs, scheduled)
 	computeWall := time.Since(start)
@@ -569,6 +636,25 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	}
 	em.flush(flushWait)
 
+	// Fold measured timings into the carried per-node statistics. The
+	// executor defers these writes to this single-threaded point (workers
+	// only record durations on their own nodeRun) so that a mid-run
+	// re-plan reads stable metrics: completed nodes' cost keys stay
+	// byte-identical to the run's cached plan entry, and only the
+	// monitor's deliberate frontier corrections dirty the fingerprint.
+	// Each observation feeds the node's decayed online estimator
+	// (core.CostStat), not a last-value overwrite.
+	for _, r := range runs {
+		if r.err != nil || !r.measuredOK {
+			continue
+		}
+		if r.state == core.StateLoad {
+			r.node.Metrics.ObserveLoad(r.measured)
+		} else {
+			r.node.Metrics.ObserveCompute(r.measured)
+		}
+	}
+
 	if err := firstError(runs); err != nil {
 		return nil, err
 	}
@@ -584,6 +670,22 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	if e.Shared != nil {
 		e.Shared.PublishStats(d)
 	}
+
+	// Planner-health summary: cache outcome, total solve count (initial
+	// plan plus adaptive re-plans), and what the divergence monitor did.
+	totalSolves, replans, swapped := p.Solves, 0, 0
+	if ad != nil {
+		s, r, w, final := ad.summary()
+		totalSolves += s
+		replans, swapped = r, w
+		if final != nil {
+			// Swaps executed against a row-cloned plan; report that one so
+			// Result.Plan reflects what actually ran. The cached entry's
+			// rows were never touched.
+			p = final
+		}
+	}
+	em.runStats(p.Cache, totalSolves, replans, swapped)
 
 	// Assemble the result.
 	res := &Result{
@@ -734,6 +836,16 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 	// member is released by its own head's unit completing, never by an
 	// upstream finish.
 	release := func(n *core.Node) {
+		// Under the adaptive monitor a child's state can be swapped
+		// (Compute→Load) by the re-planner; reading it under the
+		// monitor's read lock orders this scan against those writes. A
+		// swapped child was pushed to the ready queue at swap time and
+		// must not be pushed again here — the state check already skips
+		// it, since swaps only ever leave the Compute state.
+		if ad := st.adapt; ad != nil {
+			ad.mu.RLock()
+			defer ad.mu.RUnlock()
+		}
 		for _, ch := range n.Children() {
 			cr := st.runs[ch]
 			if cr == nil || cr.state != core.StateCompute || cr.fusedInto != nil {
@@ -758,6 +870,11 @@ func (e *Engine) schedule(ctx context.Context, st *runState, runs []*nodeRun, sc
 			}
 		} else {
 			release(r.node)
+		}
+		if ad := st.adapt; ad != nil {
+			// Feed the divergence monitor; this may trigger an inline
+			// re-plan on this worker goroutine while the others proceed.
+			ad.note(st, r, ready)
 		}
 		if remaining.Add(-1) == 0 {
 			ready.close()
@@ -834,6 +951,11 @@ type runState struct {
 	outputs   map[*core.Node]bool
 	iteration int
 	cancel    context.CancelFunc
+	// adapt, when non-nil, is the armed mid-run divergence monitor
+	// (Options.AdaptiveThreshold): workers claim runs and read mutable
+	// run state under its read lock; the re-planner mutates unstarted
+	// runs under its write lock.
+	adapt *adaptState
 
 	// fallbackMu serializes concurrent recursive recomputations after
 	// load failures (value accesses are guarded per-run by valMu, so this
@@ -873,6 +995,17 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		return
 	}
 
+	// Claim the run before reading its state or metrics. Under the
+	// adaptive monitor the claim happens inside the monitor's read lock:
+	// the re-planner (holding the write lock) only mutates runs it
+	// observes unstarted, so everything this function reads after the
+	// claim is stable.
+	if ad := s.adapt; ad != nil {
+		ad.mu.RLock()
+		atomic.StoreInt32(&r.started, 1)
+		ad.mu.RUnlock()
+	}
+
 	if r.unit != nil {
 		s.execFused(ctx, r)
 		return
@@ -897,8 +1030,8 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		} else {
 			r.value = value
 			r.ownSecs = dur.Seconds()
-			n.Metrics.Load = dur
-			n.Metrics.Known = true
+			r.measured = dur
+			r.measuredOK = true
 		}
 	case core.StateCompute:
 		inputs := make([]any, len(n.Parents()))
@@ -936,8 +1069,8 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 		}
 		r.value = value
 		r.ownSecs = elapsed.Seconds()
-		n.Metrics.Compute = elapsed
-		n.Metrics.Known = true
+		r.measured = elapsed
+		r.measuredOK = true
 	}
 
 	// Publish the measured time for ancestor C(n) sums before any
@@ -945,7 +1078,10 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 	s.times[r.np.Index].Store(math.Float64bits(r.ownSecs))
 
 	// Retirement cascade: this node's completion may put parents (and
-	// itself, if it has no computing children) out of scope.
+	// itself, if it has no computing children) out of scope. finished is
+	// set first so an adaptive swap's pending decrement racing with the
+	// self-check below retires this node on exactly one side.
+	atomic.StoreInt32(&r.finished, 1)
 	if r.state == core.StateCompute {
 		for _, p := range n.Parents() {
 			pr := s.runs[p]
@@ -1018,9 +1154,10 @@ func (s *runState) execFused(ctx context.Context, r *nodeRun) {
 	tail.value = value
 	for _, m := range r.unit {
 		m.ownSecs = share.Seconds()
-		m.node.Metrics.Compute = share
-		m.node.Metrics.Known = true
+		m.measured = share
+		m.measuredOK = true
 		s.times[m.np.Index].Store(math.Float64bits(m.ownSecs))
+		atomic.StoreInt32(&m.finished, 1)
 	}
 
 	// Retirement cascade. The head consumed its boundary parents' values;

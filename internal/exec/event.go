@@ -9,8 +9,9 @@ import (
 )
 
 // Observer receives the structured events an executing iteration emits:
-// the plan decision, per-node lifecycle, the write-behind flush barrier,
-// and iteration completion. Install one via Options.Observer (or the
+// the plan decision, per-node lifecycle, adaptive re-plan attempts, the
+// write-behind flush barrier, planner-health stats, and iteration
+// completion. Install one via Options.Observer (or the
 // public helix.WithObserver option). Events are delivered serially — the
 // engine never invokes the observer from two goroutines at once — but on
 // whichever worker goroutine produced them, so a slow observer slows the
@@ -18,7 +19,8 @@ import (
 type Observer func(Event)
 
 // Event is one structured occurrence within an executing iteration.
-// Concrete types: PlanEvent, NodeEvent, FlushEvent, DoneEvent.
+// Concrete types: PlanEvent, NodeEvent, ReplanEvent, FlushEvent,
+// RunStatsEvent, DoneEvent.
 type Event interface{ event() }
 
 // PlanEvent reports the plan an iteration is about to execute: how the
@@ -100,6 +102,63 @@ type FlushEvent struct {
 
 func (FlushEvent) event() {}
 
+// ReplanEvent reports one mid-run re-planning attempt by the adaptive
+// divergence monitor (Options.AdaptiveThreshold): measured times on
+// completed nodes drifted past the threshold, so the engine corrected the
+// cost estimates of not-yet-started nodes and asked the planner to
+// reconsider the frontier. Zero or more per run, between node events.
+type ReplanEvent struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// Divergence is the relative gap |measured−projected|/projected over
+	// the completions accumulated since the last attempt — the trigger.
+	Divergence float64
+	// Corrected counts frontier nodes whose compute estimate was rewritten
+	// from observed timings before re-planning.
+	Corrected int
+	// Planned reports that a re-plan actually ran. False when no estimate
+	// moved enough to matter (the correction was idempotent), in which
+	// case the attempt cost one scan and no planning at all.
+	Planned bool
+	// Outcome is the plan cache's verdict for the re-plan (meaningful only
+	// when Planned): CacheHit re-used the run's own cached plan wholesale,
+	// CachePartial re-solved only the weak components whose cost keys
+	// moved.
+	Outcome plan.CacheOutcome
+	// Solves is the cumulative number of max-flow solves consumed by
+	// re-planning so far this run, bounded by Options.AdaptiveMaxSolves.
+	Solves int
+	// Swapped counts nodes this attempt moved from Compute to Load.
+	Swapped int
+	// ProjectedSeconds is the re-plan's revised Equation-1 projection;
+	// zero when Planned is false.
+	ProjectedSeconds float64
+}
+
+func (ReplanEvent) event() {}
+
+// RunStatsEvent summarizes the run's planner health: how the plan was
+// obtained, how many max-flow solves the iteration consumed in total
+// (initial plan plus adaptive re-plans), and what the adaptive monitor
+// did. Emitted once per successful run, after the flush barrier and
+// before DoneEvent; failed runs end their stream without one.
+type RunStatsEvent struct {
+	// Iteration is the 0-based iteration index.
+	Iteration int
+	// Outcome is the plan cache's verdict for the initial plan.
+	Outcome plan.CacheOutcome
+	// Solves counts max-flow solves across the whole iteration: the
+	// initial plan's (0 on a cache hit) plus every adaptive re-plan's.
+	Solves int
+	// Replans counts adaptive re-plan attempts (including idempotent ones
+	// that skipped planning); zero when adaptivity is off.
+	Replans int
+	// Swapped counts nodes adaptively moved from Compute to Load mid-run.
+	Swapped int
+}
+
+func (RunStatsEvent) event() {}
+
 // DoneEvent reports successful completion of the iteration. Failed runs
 // end their event stream without one.
 type DoneEvent struct {
@@ -167,6 +226,29 @@ func (em *emitter) node(name string, phase NodePhase, state core.State, secs flo
 		Materialized: materialized,
 		Bytes:        bytes,
 		Fused:        fused,
+	})
+}
+
+// replan emits one adaptive re-plan attempt.
+func (em *emitter) replan(ev ReplanEvent) {
+	if em == nil {
+		return
+	}
+	ev.Iteration = em.iteration
+	em.emit(ev)
+}
+
+// runStats emits the run's planner-health summary.
+func (em *emitter) runStats(outcome plan.CacheOutcome, solves, replans, swapped int) {
+	if em == nil {
+		return
+	}
+	em.emit(RunStatsEvent{
+		Iteration: em.iteration,
+		Outcome:   outcome,
+		Solves:    solves,
+		Replans:   replans,
+		Swapped:   swapped,
 	})
 }
 

@@ -32,8 +32,8 @@ func TestEmitterNilCostsNothing(t *testing.T) {
 }
 
 // TestEngineEventOrdering: at the engine level, a run's stream is plan
-// first, then node lifecycle, then flush, then done — and a failed run's
-// stream has no done event.
+// first, then node lifecycle, then flush, then run stats, then done —
+// and a failed run's stream has no done event.
 func TestEngineEventOrdering(t *testing.T) {
 	e := newEngine(t)
 	var events []Event
@@ -43,20 +43,27 @@ func TestEngineEventOrdering(t *testing.T) {
 	if _, err := e.Run(context.Background(), prog, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if len(events) < 4 {
+	if len(events) < 5 {
 		t.Fatalf("got %d events", len(events))
 	}
 	if _, ok := events[0].(PlanEvent); !ok {
 		t.Fatalf("first event %T, want PlanEvent", events[0])
 	}
-	if _, ok := events[len(events)-2].(FlushEvent); !ok {
-		t.Fatalf("penultimate event %T, want FlushEvent", events[len(events)-2])
+	if _, ok := events[len(events)-3].(FlushEvent); !ok {
+		t.Fatalf("antepenultimate event %T, want FlushEvent", events[len(events)-3])
+	}
+	rs, ok := events[len(events)-2].(RunStatsEvent)
+	if !ok {
+		t.Fatalf("penultimate event %T, want RunStatsEvent", events[len(events)-2])
+	}
+	if rs.Solves != 1 || rs.Replans != 0 || rs.Swapped != 0 {
+		t.Fatalf("cold non-adaptive run stats = %+v, want 1 solve, 0 replans, 0 swaps", rs)
 	}
 	if _, ok := events[len(events)-1].(DoneEvent); !ok {
 		t.Fatalf("last event %T, want DoneEvent", events[len(events)-1])
 	}
 	starts := 0
-	for _, ev := range events[1 : len(events)-2] {
+	for _, ev := range events[1 : len(events)-3] {
 		ne, ok := ev.(NodeEvent)
 		if !ok {
 			t.Fatalf("mid-stream event %T, want NodeEvent", ev)

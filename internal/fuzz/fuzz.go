@@ -4,7 +4,7 @@
 // configurations, each executed through a real Session and cross-checked
 // against independent oracles.
 //
-// Nine invariants are enforced on every generated case:
+// Ten invariants are enforced on every generated case:
 //
 //  1. Plan-cache transparency — a session planning through the
 //     fingerprint cache produces byte-for-byte the same output values as
@@ -43,6 +43,11 @@
 //     private-store reference, and neither recomputes a deterministic
 //     node whose artifact is already published when loading it is
 //     cheaper than recomputing (plan optimality's swap argument).
+//  10. Adaptive transparency — a session running with the mid-run
+//     divergence monitor armed (WithAdaptive, at the case's random
+//     threshold) produces byte-for-byte the same output values as the
+//     adaptive-off siblings, whether or not any re-plan or
+//     compute→load swap fired mid-run.
 //
 // A failing case is shrunk to a local minimum (dropping iterations,
 // edits, restarts, cancellations, and DAG nodes while the same
@@ -93,6 +98,11 @@ type Config struct {
 	BudgetBytes int64  `json:"budget_bytes,omitempty"`
 	Parallelism int    `json:"parallelism"`
 	SyncMat     bool   `json:"sync_mat,omitempty"`
+	// Adaptive is the divergence threshold the adaptive sibling session
+	// arms (invariant 10). It never applies to the subject or the other
+	// oracles; 0 means the case drew no threshold and the sibling runs at
+	// a sensitive default instead, so the invariant is always exercised.
+	Adaptive float64 `json:"adaptive,omitempty"`
 }
 
 // Case is one complete fuzz scenario: a base DAG, an edit list per
@@ -280,6 +290,12 @@ func genConfig(rng *rand.Rand) Config {
 	cfg := Config{
 		Parallelism: []int{1, 2, 4}[rng.Intn(3)],
 		SyncMat:     rng.Float64() < 0.3,
+	}
+	if rng.Float64() < 0.5 {
+		// Random divergence thresholds spanning hair-trigger (every timing
+		// wobble re-plans) to lax (only a gross skew would); either way the
+		// adaptive sibling's outputs must stay byte-identical.
+		cfg.Adaptive = 0.05 + 1.95*rng.Float64()
 	}
 	switch p := rng.Float64(); {
 	case p < 0.25:

@@ -76,12 +76,25 @@ func (c Config) options() ([]helix.Option, error) {
 // oracle's plan options are semantically identical to the subject's.
 const oracleThreshold = 2.000001
 
+// adaptiveSiblingThreshold picks the divergence threshold the adaptive
+// sibling (invariant 10) arms: the case's random draw when it made one,
+// else a sensitive default — the sibling is always on, so every case
+// exercises the monitor's claim protocol even when the generator drew no
+// threshold.
+func adaptiveSiblingThreshold(c Config) float64 {
+	if c.Adaptive > 0 {
+		return c.Adaptive
+	}
+	return 0.25
+}
+
 // RunCase executes one fuzz case end to end and checks every invariant
-// at every iteration. Five sibling sessions run the same workflow
+// at every iteration. Six sibling sessions run the same workflow
 // sequence — the subject (plan cache on, critical-path scheduling,
 // streaming fused execution, binary codec), a cache-off oracle, a
-// FIFO-scheduled oracle, a streaming-off oracle, and a gob-codec
-// oracle — and a from-scratch reference evaluation provides
+// FIFO-scheduled oracle, a streaming-off oracle, a gob-codec oracle,
+// and an adaptive sibling with the mid-run divergence monitor armed —
+// and a from-scratch reference evaluation provides
 // ground-truth values. The case may also schedule mid-sequence restarts
 // (every session closed and reopened) and mid-run cancellations of the
 // subject. The returned Violation is nil when every invariant held; err
@@ -100,6 +113,7 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		{"fifo", []helix.Option{helix.WithScheduler(helix.SchedFIFO)}},
 		{"streamoff", []helix.Option{helix.WithStreaming(false)}},
 		{"gob", []helix.Option{helix.WithCodec(helix.CodecGob)}},
+		{"adaptive", []helix.Option{helix.WithAdaptive(adaptiveSiblingThreshold(c.Config))}},
 	}
 	// Invariant-9 pair: two sessions attached to one shared
 	// content-addressed store, running the same sequence as the private
@@ -220,7 +234,7 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 				}
 			}
 		}
-		subject, cacheOff, fifo, streamOff, gobSess := sess[0], sess[1], sess[2], sess[3], sess[4]
+		subject, cacheOff, fifo, streamOff, gobSess, adaptSess := sess[0], sess[1], sess[2], sess[3], sess[4], sess[5]
 
 		// Invariant-4 oracle: a fresh cold solve against the subject's
 		// current state, taken BEFORE the run so both see the same
@@ -295,6 +309,10 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		if err != nil {
 			return viol("run-error", "gob-codec run failed: %v", err), nil
 		}
+		adaptRes, err := adaptSess.Run(ctx, wf)
+		if err != nil {
+			return viol("run-error", "adaptive run failed: %v", err), nil
+		}
 		if stats != nil {
 			stats.Iterations++
 			switch res.Plan.Cache {
@@ -363,6 +381,16 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 		for name := range ref {
 			if d := valueDiff(res.Values[name], gobRes.Values[name]); d != "" {
 				return viol("codec-equivalence", "output %s: binary codec vs gob: %s", name, d), nil
+			}
+		}
+		// Invariant 10: adaptive transparency — whatever the divergence
+		// monitor did mid-run (corrected estimates, partial re-solves,
+		// compute→load swaps, or nothing), the outputs are byte-identical
+		// to the adaptive-off subject's.
+		for name := range ref {
+			if d := valueDiff(res.Values[name], adaptRes.Values[name]); d != "" {
+				return viol("adaptive-equivalence", "output %s: adaptive (threshold %g) vs subject: %s (adaptive plan %v)",
+					name, adaptiveSiblingThreshold(c.Config), d, adaptRes.Plan.Cache), nil
 			}
 		}
 

@@ -174,6 +174,13 @@ type Plan struct {
 	// partial re-solve of dirty components, or a wholesale reuse of the
 	// previous iteration's plan.
 	Cache CacheOutcome
+	// Solves is the number of max-flow solves this particular Plan call
+	// ran: 0 on a full fingerprint hit (and on a partial hit whose dirty
+	// set held no live node), 1 otherwise. Deterministic per-call
+	// accounting for the adaptive re-planner's speculation budget —
+	// unlike the process-wide opt.SolveCount, it is unaffected by
+	// concurrent planners.
+	Solves int
 	// Fused lists the plan's fused runs (Options.Streaming): each entry is
 	// ≥2 Plan.Nodes indices forming a linear chain of streamable compute
 	// nodes the engine executes as one unit with per-element pull. Interior
@@ -244,6 +251,38 @@ func (p *Plan) ForEachAncestor(i int, fn func(j int)) {
 	}
 }
 
+// CloneRows returns a copy of the plan whose NodePlan rows the caller may
+// mutate freely. Cached plans alias their rows into the plan cache (hit
+// rebinds and re-stores them), so an executor that adapts states mid-run
+// must clone before touching a row. The topology-dependent ancestor
+// table, purge spec, and fusion groups are immutable under row mutation
+// and stay shared; Counts is copied so state tallies can be adjusted.
+func (p *Plan) CloneRows() *Plan {
+	q := &Plan{
+		Iteration:        p.Iteration,
+		Nodes:            make([]*NodePlan, len(p.Nodes)),
+		ProjectedSeconds: p.ProjectedSeconds,
+		Counts:           make(map[core.State]int, len(p.Counts)),
+		Purge:            p.Purge,
+		Cache:            p.Cache,
+		Solves:           p.Solves,
+		Fused:            p.Fused,
+		FusedSigs:        p.FusedSigs,
+		Fingerprint:      p.Fingerprint,
+		anc:              p.anc,
+		ancWords:         p.ancWords,
+	}
+	rows := make([]NodePlan, len(p.Nodes))
+	for i, np := range p.Nodes {
+		rows[i] = *np
+		q.Nodes[i] = &rows[i]
+	}
+	for s, n := range p.Counts {
+		q.Counts[s] = n
+	}
+	return q
+}
+
 // Reuses reports how many of the plan's rows were reused from the cached
 // previous plan rather than re-derived.
 func (p *Plan) Reuses() int {
@@ -293,6 +332,16 @@ type Planner struct {
 	// per-signature metrics after CarryMetrics, keeping every session's
 	// solver inputs — and therefore fingerprints — identical.
 	Shared *SharedCache
+	// SkipCarry suppresses the change-tracking metric carry (CarryMetrics
+	// and the shared-stats overlay) for this call: the DAG's current
+	// metrics are taken as authoritative. The adaptive re-planner sets it
+	// when re-planning mid-run — it has just written corrected frontier
+	// metrics into the very DAG being planned, and carrying the previous
+	// iteration's statistics back over them would undo the correction.
+	// Deliberately NOT part of Options: it changes no planning decision
+	// given the same metrics, and folding it into the fingerprinted
+	// options would sever re-plans from the run's own cache entries.
+	SkipCarry bool
 }
 
 // planInputs carries the derived planning inputs between pipeline stages.
@@ -328,11 +377,18 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 		return nil, fmt.Errorf("plan: invalid workflow: %w", err)
 	}
 
-	// 1. Change tracking (§4.2).
-	d.ComputeSignatures()
-	d.CarryMetrics(prev)
-	if pl.Shared != nil {
-		pl.Shared.ApplyStats(d)
+	// 1. Change tracking (§4.2). A SkipCarry call trusts the DAG as-is:
+	// signatures were computed by the run's initial plan and executor
+	// goroutines are concurrently reading them, so recomputing (even to
+	// identical values) would be a data race — and carrying the previous
+	// iteration's statistics would undo the corrections the re-planner
+	// just wrote.
+	if !pl.SkipCarry {
+		d.ComputeSignatures()
+		d.CarryMetrics(prev)
+		if pl.Shared != nil {
+			pl.Shared.ApplyStats(d)
+		}
 	}
 
 	// 2-3. Originality, slicing, and cost assembly — the cheap O(V+E)
@@ -389,17 +445,20 @@ func (pl *Planner) Plan(d *core.DAG, prev *core.DAG, iteration int) (*Plan, erro
 	}
 	solveCosts := in.solveCosts(dirty)
 	var states map[*core.Node]core.State
+	solves := 0
 	if outcome != CachePartial || len(solveCosts) > 0 {
 		solver := pl.Solver
 		if solver == nil {
 			solver = new(opt.Solver)
 		}
 		states = solver.OptimalStates(d, solveCosts).States
+		solves = 1
 	}
 
 	// 7. Assemble the artifact: states, rationale, ancestor sets, and
 	// cumulative times, all in topological order.
 	p := pl.assemble(in, states, anc, words, reused, outcome, fp)
+	p.Solves = solves
 	if pl.Cache != nil {
 		pl.Cache.store(fp, keys, parents, pl.Opts, token, p)
 	}

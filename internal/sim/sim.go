@@ -225,13 +225,16 @@ func NewWorkload(name string, scale workloads.Scale, seed int64) (workloads.Work
 }
 
 // runTally collects one iteration's structured run events. The observer
-// is invoked serially by the engine, and the plan/flush/done events are
-// emitted on the Run caller's goroutine, so reading the tally after Run
-// returns needs no extra synchronization.
+// is invoked serially by the engine; plan/flush/done are emitted on the
+// Run caller's goroutine and re-plan events on worker goroutines the run
+// joins before returning, so reading the tally after Run returns needs no
+// extra synchronization.
 type runTally struct {
-	plan  *helix.PlanEvent
-	flush *helix.FlushEvent
-	done  *helix.DoneEvent
+	plan    *helix.PlanEvent
+	flush   *helix.FlushEvent
+	done    *helix.DoneEvent
+	replans []helix.ReplanEvent
+	stats   *helix.RunStatsEvent
 }
 
 func (t *runTally) observe(ev helix.RunEvent) {
@@ -242,6 +245,10 @@ func (t *runTally) observe(ev helix.RunEvent) {
 		t.flush = &e
 	case helix.DoneEvent:
 		t.done = &e
+	case helix.ReplanEvent:
+		t.replans = append(t.replans, e)
+	case helix.RunStatsEvent:
+		t.stats = &e
 	}
 }
 

@@ -139,6 +139,11 @@ type Store struct {
 	// becomes content-addressed write-once and Purge respects attachment
 	// pins. See shared.go.
 	shared *sharedState
+
+	// loads is the self-correcting load-bandwidth model fed by measured
+	// physical reads; EstimateLoad prefers its adopted bandwidth over the
+	// static assumption. See loadmodel.go.
+	loads loadModel
 }
 
 // codec returns the effective value codec.
@@ -230,14 +235,29 @@ func (s *Store) EncodeValue(value any) ([]byte, error) {
 }
 
 // EstimateLoad predicts the time to load size bytes, per the paper's model
-// l_i = s_i / (disk read speed) (§5.3). With simulation disabled it assumes
-// a fast local disk at 1 GB/s plus a fixed 1ms seek.
+// l_i = s_i / (disk read speed) (§5.3). The disk speed self-corrects: once
+// the store has observed enough real reads, their measured (decayed,
+// quantized) bandwidth replaces the static assumption — a fast local disk
+// at 1 GB/s, or DiskBytesPerSec when simulation is on — plus a fixed 1ms
+// seek either way.
 func (s *Store) EstimateLoad(size int64) time.Duration {
-	speed := s.DiskBytesPerSec
+	speed := s.loads.bandwidth()
 	if speed <= 0 {
-		speed = 1 << 30
+		speed = s.staticBandwidth()
 	}
 	return time.Millisecond + time.Duration(float64(size)/speed*float64(time.Second))
+}
+
+// staticBandwidth is the bytes/sec the static load model assumes when no
+// observed bandwidth has been adopted: the configured simulated-disk
+// throughput, or a fast local disk (1 GB/s) when simulation is off. It is
+// also the hysteresis reference the bandwidth model measures against
+// before its first adoption (see loadModel).
+func (s *Store) staticBandwidth() float64 {
+	if s.DiskBytesPerSec > 0 {
+		return s.DiskBytesPerSec
+	}
+	return 1 << 30
 }
 
 // PutBytes writes pre-encoded bytes under key and records the entry. The
@@ -372,15 +392,24 @@ func (s *Store) load(key string) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: no entry for key %q", key)
 	}
+	start := time.Now()
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		return nil, fmt.Errorf("store: read %q: %w", key, err)
 	}
 	s.throttle(e.Size)
+	// Feed the bandwidth model the physical transfer only (read plus any
+	// simulated throttle). Decode time is deliberately excluded: the
+	// paper's load model is l_i = s_i / (disk read speed) (§5.3), so the
+	// self-correcting term is the disk-speed denominator, not codec cost —
+	// folding decode in would report a "disk" many times slower than the
+	// one configured and skew every load/compute trade-off.
+	readDur := time.Since(start)
 	value, err := s.codec().Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("store: %q: %w", key, err)
 	}
+	s.loads.observe(e.Size, readDur, s.staticBandwidth())
 	return value, nil
 }
 

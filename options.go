@@ -44,6 +44,12 @@ type config struct {
 	// identical configurations share plans — only byte accounting is
 	// namespaced.
 	tenant string
+	// adaptive arms mid-run adaptive re-planning with the given divergence
+	// threshold (WithAdaptive); 0 disables.
+	adaptive float64
+	// adaptiveSolves bounds the extra max-flow solves adaptive re-planning
+	// may spend per run; ≤0 uses the engine default.
+	adaptiveSolves int
 	// runScope records which scope the options are being applied at, for
 	// options whose scope depends on their arguments (WithWorkerClass).
 	runScope bool
@@ -91,8 +97,9 @@ func (c *config) policyKey() string {
 // (Planner-level knobs — reuse, pruning, output materialization — are
 // fingerprinted separately as plan.Options.)
 func (c *config) configToken() string {
-	return fmt.Sprintf("policy=%d budget=%d threshold=%g domain=%q parallelism=%d",
-		c.o.Policy, c.budget(), c.o.OMPThreshold, c.o.Domain, c.o.Parallelism)
+	return fmt.Sprintf("policy=%d budget=%d threshold=%g domain=%q parallelism=%d adaptive=%g/%d",
+		c.o.Policy, c.budget(), c.o.OMPThreshold, c.o.Domain, c.o.Parallelism,
+		c.adaptive, c.adaptiveSolves)
 }
 
 // WorkerClass names one of the execution scheduler's worker pools, for
@@ -246,6 +253,45 @@ func WithWorkerClass(class WorkerClass, size int) Option {
 // first; SchedFIFO forces pure arrival order.
 func WithScheduler(mode SchedMode) Option {
 	return Option{name: "WithScheduler", apply: func(c *config) { c.o.CriticalPath = mode }}
+}
+
+// WithAdaptive arms mid-run adaptive re-planning with the given
+// divergence threshold; threshold ≤ 0 disables it (the default).
+//
+// While a run executes, the engine compares each completed node's
+// measured own time against the plan's projection and accumulates both.
+// When the relative divergence |measured − projected| / projected over
+// completed nodes exceeds threshold (0.5 means "the finished portion of
+// the run cost 50% more or less than planned"), the engine corrects the
+// cost estimates of not-yet-started operators from what it has observed
+// so far and re-plans the remainder of the run in place: already-running
+// and finished nodes are untouched; pending Compute nodes whose loads
+// became the cheaper choice are swapped to loads. Each re-plan is
+// reported as a ReplanEvent (see WithObserver), and the run's
+// RunStatsEvent totals solves, re-plans, and swaps.
+//
+// Re-planning is plan-cache safe. Corrections only touch operators that
+// have not started, so completed work never changes the fingerprint
+// retroactively; the recomputed fingerprint differs from the initial
+// plan's only on components whose cost estimates actually moved, and the
+// cache's partial path re-solves just those components, reusing the rest
+// row-for-row. A re-plan whose corrections all fall inside the gating
+// bands writes nothing, fingerprints identically, and costs zero solves.
+// The threshold (and solve bound) are folded into the configuration
+// token, so adaptive and non-adaptive runs never share cache entries.
+//
+// Extra max-flow solves per run are bounded (default 3) to keep
+// speculation cheap; once the bound is spent the monitor disarms for the
+// rest of the run. Usable at session scope (every run adapts) or run
+// scope (that run only). See BENCH_adaptive.json (README) for the
+// measured static-vs-adaptive comparison.
+func WithAdaptive(threshold float64) Option {
+	return Option{name: "WithAdaptive", apply: func(c *config) {
+		if threshold < 0 {
+			threshold = 0
+		}
+		c.adaptive = threshold
+	}}
 }
 
 // WithObserver installs a RunObserver receiving the run's structured

@@ -397,6 +397,8 @@ func (s *Session) execOptions(cfg *config, pol opt.MatPolicy) exec.Options {
 		Observer:            cfg.observer,
 		Shared:              cfg.shared != nil,
 		Tenant:              cfg.tenant,
+		AdaptiveThreshold:   cfg.adaptive,
+		AdaptiveMaxSolves:   cfg.adaptiveSolves,
 	}
 }
 
