@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildLint compiles the helixlint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "helixlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a one-package module so the binary's go-list
+// loader has a real module root to resolve.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module lintsmoke\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run helixlint: %v\n%s", err, out.String())
+	}
+	return out.String(), code
+}
+
+// TestSmoke drives the built binary end to end: a clean module exits 0,
+// a module seeded with one violation per analyzer class exits 1 and
+// names each finding, and -disable with an unknown analyzer exits 2.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	bin := buildLint(t)
+
+	clean := writeModule(t, map[string]string{
+		"good/good.go": `// Package good is taxonomy- and determinism-clean.
+//
+//lint:errtaxonomy
+//lint:deterministic
+package good
+
+import "errors"
+
+// ErrBoom is the package's one sentinel.
+var ErrBoom = errors.New("good: boom")
+
+// Do returns the sentinel, staying inside the taxonomy.
+func Do() error { return ErrBoom }
+`,
+	})
+	if out, code := runLint(t, bin, clean, "./..."); code != 0 {
+		t.Fatalf("clean module: exit %d, want 0\n%s", code, out)
+	}
+
+	dirty := writeModule(t, map[string]string{
+		"bad/bad.go": `// Package bad seeds one violation per quick-to-seed analyzer.
+//
+//lint:errtaxonomy
+//lint:deterministic
+package bad
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bare returns an anonymous error (errtaxonomy violation).
+func Bare() error { return fmt.Errorf("bad: oops") }
+
+// Now reads the wall clock in a deterministic package (plandeterminism
+// violation).
+func Now() int64 { return time.Now().Unix() }
+`,
+	})
+	out, code := runLint(t, bin, dirty, "./...")
+	if code != 1 {
+		t.Fatalf("seeded module: exit %d, want 1\n%s", code, out)
+	}
+	for _, want := range []string{"errtaxonomy", "plandeterminism", "bad.go"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("seeded-module output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Disabling the two tripped analyzers must make the same tree pass —
+	// and an unknown analyzer name must be rejected loudly.
+	if out, code := runLint(t, bin, dirty, "-disable", "errtaxonomy,plandeterminism", "./..."); code != 0 {
+		t.Fatalf("disabled run: exit %d, want 0\n%s", code, out)
+	}
+	if out, code := runLint(t, bin, dirty, "-disable", "nosuch", "./..."); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2\n%s", code, out)
+	}
+}

@@ -43,6 +43,10 @@ var (
 	// session. Store-level configuration belongs to the shared store, not
 	// to any one attaching session.
 	ErrSharedConfig = errors.New("helix: conflicting shared-store configuration")
+	// ErrBadConfig tags malformed session construction: conflicting or
+	// over-supplied configuration values, such as passing more than one
+	// legacy Options struct to NewSession.
+	ErrBadConfig = errors.New("helix: invalid configuration")
 )
 
 // NodeError reports the failure of one operator during Run. Retrieve it

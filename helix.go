@@ -34,6 +34,12 @@
 // the same options as run-scoped overrides for one call, and failures
 // are classified by the package's typed errors (ErrBadWorkflow,
 // NodeError, …).
+//
+// helixlint (errtaxonomy) holds the package to that contract: every
+// error return is a taxonomy sentinel, wraps one (tagged / %w), or
+// carries a typed *NodeError — never an anonymous fmt.Errorf.
+//
+//lint:errtaxonomy
 package helix
 
 import (

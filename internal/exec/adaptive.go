@@ -207,15 +207,16 @@ func (ad *adaptState) note(s *runState, r *nodeRun, ready *readyQueue) {
 	} else {
 		ad.noteOne(r)
 	}
-	var ev *ReplanEvent
+	var ev ReplanEvent
+	replanned := false
 	if !ad.disabled && ad.projSum > 0 {
 		if div := math.Abs(ad.measSum-ad.projSum) / ad.projSum; div > ad.threshold {
-			ev = ad.replanLocked(s, div, ready)
+			ev, replanned = ad.replanLocked(s, div, ready)
 		}
 	}
 	ad.mu.Unlock()
-	if ev != nil {
-		s.em.replan(*ev)
+	if replanned {
+		s.em.replan(ev)
 	}
 }
 
@@ -266,15 +267,17 @@ func (ad *adaptState) factorFor(n *core.Node) float64 {
 // replanLocked runs one re-plan attempt: correct frontier estimates,
 // re-plan through the cache's partial path, adopt Compute→Load swaps for
 // unstarted nodes. Called with ad.mu held; returns the event to emit
-// after unlock, or nil when the attempt was suppressed by the solve
-// budget.
-func (ad *adaptState) replanLocked(s *runState, div float64, ready *readyQueue) *ReplanEvent {
+// after unlock, with ok=false when the attempt was suppressed by the
+// solve budget. The event is a named return value, never a heap
+// literal, so the observer-off path allocates nothing.
+func (ad *adaptState) replanLocked(s *runState, div float64, ready *readyQueue) (ev ReplanEvent, ok bool) {
 	if ad.solves >= ad.maxSolves {
 		ad.disabled = true
-		return nil
+		return ev, false
 	}
 	ad.replans++
-	ev := &ReplanEvent{Divergence: div, Solves: ad.solves}
+	ev.Divergence = div
+	ev.Solves = ad.solves
 	// Each attempt needs fresh divergence evidence; the correction sums
 	// persist (they are estimates, not triggers).
 	ad.projSum, ad.measSum = 0, 0
@@ -310,7 +313,7 @@ func (ad *adaptState) replanLocked(s *runState, div float64, ready *readyQueue) 
 	}
 	ev.Corrected = corrected
 	if corrected == 0 {
-		return ev
+		return ev, true
 	}
 
 	// 2. Re-plan. Same options, token, and memoized store view as the
@@ -323,7 +326,7 @@ func (ad *adaptState) replanLocked(s *runState, div float64, ready *readyQueue) 
 		// A mid-run planning failure only means the run proceeds with the
 		// plan it already has.
 		ad.disabled = true
-		return ev
+		return ev, true
 	}
 	ev.Planned = true
 	ev.Outcome = p2.Cache
@@ -363,7 +366,7 @@ func (ad *adaptState) replanLocked(s *runState, div float64, ready *readyQueue) 
 	if swapped > 0 {
 		ad.cloned.ProjectedSeconds = p2.ProjectedSeconds
 	}
-	return ev
+	return ev, true
 }
 
 // swapLocked moves one unstarted run from Compute to Load: record the

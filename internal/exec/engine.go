@@ -26,6 +26,12 @@
 // Result.FlushWait. Options.SyncMaterialization restores the historical
 // inline behavior — serialize and write on the worker goroutine that
 // computed the value — for A/B comparison in internal/bench.
+//
+// helixlint (errtaxonomy) holds this package's error returns to the
+// typed taxonomy: wrapped sentinels (ErrBadPlan, ErrNoFunction, the
+// context errors) and *NodeError, never bare leaf errors.
+//
+//lint:errtaxonomy
 package exec
 
 import (
@@ -68,8 +74,15 @@ type Sizer interface {
 }
 
 // Options configures an engine run.
+// helixlint (fingerprintfields) requires every field to be read by
+// planWithView — i.e. folded into plan identity — or to carry a
+// //lint:fpexempt reason saying why it is fingerprint-neutral.
+//
+//lint:fingerprint planWithView
 type Options struct {
 	// Policy decides which out-of-scope intermediates to materialize.
+	//
+	//lint:fpexempt acts at retire time (OMP), not plan time; cache safety comes from the session ConfigToken, which encodes the policy
 	Policy opt.MatPolicy
 	// DisableReuse makes the engine ignore existing materializations when
 	// planning (used to model KeystoneML and DeepDive, which do not
@@ -83,12 +96,18 @@ type Options struct {
 	// (factor-1)·elapsed after each DPR compute. Models DeepDive's
 	// Python/shell preprocessing being ~2× slower than Spark (paper
 	// §6.5.2). 0 or 1 means no slowdown.
+	//
+	//lint:fpexempt execution-side sleep; its effect reaches the fingerprint through the carried cost statistics of the runs it slows
 	DPRSlowdown float64
 	// LISlowdown does the same for L/I operators. Models KeystoneML's
 	// "longer L/I time incurred by its caching optimizer's failing to
 	// cache the training data for learning" (paper §6.5.2).
+	//
+	//lint:fpexempt execution-side sleep; its effect reaches the fingerprint through the carried cost statistics of the runs it slows
 	LISlowdown float64
 	// SampleMemory enables the memory sampler (Figure 10).
+	//
+	//lint:fpexempt observability only; sampling never changes what is planned or computed
 	SampleMemory bool
 	// DisablePruning turns off program slicing (ablation).
 	DisablePruning bool
@@ -96,6 +115,8 @@ type Options struct {
 	// writes inline on the worker goroutine, putting the full
 	// materialization cost back on the critical path. Kept as an escape
 	// hatch and for A/B benchmarking against the async default.
+	//
+	//lint:fpexempt write-behind vs inline changes when bytes hit disk, not what is planned; the fuzzer proves results identical
 	SyncMaterialization bool
 	// Parallelism bounds the scheduler's compute worker pool: at most
 	// this many operators compute concurrently, regardless of DAG width.
@@ -103,6 +124,8 @@ type Options struct {
 	// small I/O pool (max(Parallelism, 4), capped by the plan's load
 	// count): loads are disk/throttle-bound, not CPU-bound, and must not
 	// serialize behind compute on narrow hosts.
+	//
+	//lint:fpexempt scheduling width, not plan identity; encoded in the session ConfigToken for cache hygiene
 	Parallelism int
 	// Sched selects the ready-queue ordering. The zero value,
 	// SchedCriticalPath, pops the ready node with the longest projected
@@ -110,11 +133,15 @@ type Options struct {
 	// stragglers start early on unbalanced DAGs; when no projections
 	// exist (iteration 0) all priorities are zero and the order degrades
 	// to exact FIFO. SchedFIFO forces pure arrival order.
+	//
+	//lint:fpexempt ready-queue ordering changes execution interleaving, never the plan
 	Sched SchedMode
 	// IOWorkers sizes the Load-state I/O pool explicitly (the "io"
 	// worker class). ≤0 keeps the heuristic max(Parallelism,
 	// minLoadWorkers); either way the pool is capped by the plan's load
 	// count.
+	//
+	//lint:fpexempt I/O pool sizing, not plan identity
 	IOWorkers int
 	// ConfigToken describes the engine-level configuration the run
 	// executes under, for the plan cache's fingerprint: two runs with
@@ -125,6 +152,8 @@ type Options struct {
 	// decided, node started/retired, flush barrier, iteration done).
 	// Events are delivered serially but from worker goroutines; a nil
 	// observer costs nothing.
+	//
+	//lint:fpexempt observer wiring never affects plan identity
 	Observer Observer
 	// DisableStreaming turns off operator fusion: every streamable node
 	// executes as an ordinary batch operator with its own scheduler slot
@@ -141,6 +170,8 @@ type Options struct {
 	Shared bool
 	// Tenant labels this run's published artifacts for per-tenant byte
 	// accounting in a shared store; empty outside shared mode.
+	//
+	//lint:fpexempt byte-accounting label on published artifacts; content addressing already keys identity
 	Tenant string
 	// AdaptiveThreshold, when > 0, arms the mid-run divergence monitor:
 	// whenever the cumulative measured time of completed nodes diverges
@@ -153,12 +184,16 @@ type Options struct {
 	// corrected estimate makes loading cheaper are swapped to Load.
 	// Applies to Run/RunWith only; Execute carries a prebuilt plan out
 	// verbatim. ≤ 0 disables (the default).
+	//
+	//lint:fpexempt gates mid-run re-planning, not the initial plan; encoded in the session ConfigToken
 	AdaptiveThreshold float64
 	// AdaptiveMaxSolves bounds the extra max-flow solves mid-run
 	// re-planning may consume per run; once reached the monitor disarms.
 	// Re-plan attempts that hit the plan cache (or change no estimate)
 	// cost no solve and are not counted against it. ≤ 0 means the
 	// default of 3.
+	//
+	//lint:fpexempt bounds re-plan speculation, not the initial plan; encoded in the session ConfigToken
 	AdaptiveMaxSolves int
 }
 
@@ -461,14 +496,14 @@ func (e *Engine) execute(ctx context.Context, prog *Program, p *plan.Plan, start
 	// so a plan built from a different Compile of even the same workflow
 	// would otherwise surface only as opaque "no function" failures.
 	if p == nil {
-		return nil, fmt.Errorf("exec: nil plan")
+		return nil, fmt.Errorf("%w: nil plan", ErrBadPlan)
 	}
 	if len(p.Nodes) != d.Len() {
-		return nil, fmt.Errorf("exec: plan covers %d nodes, program has %d: plan was not built from this program", len(p.Nodes), d.Len())
+		return nil, fmt.Errorf("%w: plan covers %d nodes, program has %d", ErrBadPlan, len(p.Nodes), d.Len())
 	}
 	for _, np := range p.Nodes {
 		if d.Node(np.Node.Name) != np.Node {
-			return nil, fmt.Errorf("exec: plan node %q does not belong to this program: plan was not built from this program", np.Node.Name)
+			return nil, fmt.Errorf("%w: plan node %q does not belong to this program", ErrBadPlan, np.Node.Name)
 		}
 	}
 
@@ -1047,7 +1082,7 @@ func (s *runState) execNode(ctx context.Context, r *nodeRun) {
 			inputs[i] = pr.value
 		}
 		if r.fn == nil {
-			r.err = fmt.Errorf("no function for node")
+			r.err = ErrNoFunction
 			return
 		}
 		start := time.Now()
@@ -1450,7 +1485,7 @@ func (s *runState) recomputeLocked(ctx context.Context, n *core.Node, memo map[*
 	}
 	fn := s.runs[n].fn
 	if fn == nil {
-		return nil, fmt.Errorf("exec: cannot recompute %q: no function", n.Name)
+		return nil, fmt.Errorf("exec: cannot recompute %q: %w", n.Name, ErrNoFunction)
 	}
 	inputs := make([]any, len(n.Parents()))
 	for i, p := range n.Parents() {

@@ -1,6 +1,23 @@
 package exec
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the executor's taxonomy. Callers classify failures
+// with errors.Is against these (and errors.As against *NodeError);
+// helixlint (errtaxonomy) keeps exec's error returns inside the
+// taxonomy.
+var (
+	// ErrBadPlan reports a plan handed to Run/execute that was not built
+	// from the given program: nil, wrong node count, or foreign node
+	// pointers.
+	ErrBadPlan = errors.New("exec: plan was not built from this program")
+	// ErrNoFunction reports a node scheduled for compute that has no
+	// function — a Source fed no value, or a recompute of an opaque node.
+	ErrNoFunction = errors.New("no function for node")
+)
 
 // NodeError reports the failure of one operator during an iteration. It
 // wraps the operator's own error, so callers can both identify the

@@ -65,7 +65,7 @@ func runRowOps(ctx context.Context, ops []*RowOp, input any) (any, error) {
 // and streaming-off produce identical values.
 func RunRowOp(ctx context.Context, op *RowOp, inputs []any) (any, error) {
 	if len(inputs) != 1 {
-		return nil, fmt.Errorf("exec: streamable operator expects 1 input, got %d", len(inputs))
+		return nil, fmt.Errorf("%w: streamable operator expects 1 input, got %d", ErrBadPlan, len(inputs))
 	}
 	return runRowOps(ctx, []*RowOp{op}, inputs[0])
 }

@@ -98,6 +98,13 @@ type Config struct {
 	BudgetBytes int64  `json:"budget_bytes,omitempty"`
 	Parallelism int    `json:"parallelism"`
 	SyncMat     bool   `json:"sync_mat,omitempty"`
+	// EvictPressure marks a case whose budget was drawn deliberately
+	// below a handful of entries (512–1535 B against ~150–600 B values),
+	// so Algorithm 2 must constantly evict to admit: every admission
+	// churns a slot, exercising invariant 5's purge-credit accounting
+	// and the store's delete-under-load paths instead of the steady
+	// state where the budget is merely tight.
+	EvictPressure bool `json:"evict_pressure,omitempty"`
 	// Adaptive is the divergence threshold the adaptive sibling session
 	// arms (invariant 10). It never applies to the subject or the other
 	// oracles; 0 means the case drew no threshold and the sibling runs at
@@ -309,6 +316,13 @@ func genConfig(rng *rand.Rand) Config {
 			// entries) so Algorithm 2 actually declines materializations.
 			cfg.BudgetBytes = int64(4<<10 + rng.Intn(60<<10))
 		}
+	}
+	if rng.Float64() < 0.15 {
+		// Eviction pressure overrides the draw above: force the budgeted
+		// policy with a budget of one-to-three entries.
+		cfg.EvictPressure = true
+		cfg.Policy = "opt"
+		cfg.BudgetBytes = int64(512 + rng.Intn(1024))
 	}
 	return cfg
 }

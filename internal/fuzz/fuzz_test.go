@@ -160,6 +160,48 @@ func TestFuzzSmoke(t *testing.T) {
 	}
 }
 
+// TestEvictionPressure runs generated eviction-pressure cases — budgets
+// of one-to-three entries that force Algorithm 2 to churn slots on
+// every admission — and asserts the mode both appears in generation and
+// actually evicts (manifest keys disappearing between iterations), so
+// invariant 5's purge-credit accounting is exercised rather than
+// vacuously satisfied.
+func TestEvictionPressure(t *testing.T) {
+	want := 6
+	if testing.Short() {
+		want = 2
+	}
+	stats := &Stats{}
+	ran := 0
+	for seed := int64(1); ran < want && seed < 10_000; seed++ {
+		c := Generate(seed)
+		if !c.Config.EvictPressure {
+			continue
+		}
+		ran++
+		if c.Config.Policy != "opt" || c.Config.BudgetBytes <= 0 || c.Config.BudgetBytes >= 2048 {
+			t.Fatalf("seed %d: eviction-pressure case drew policy %q budget %d", seed, c.Config.Policy, c.Config.BudgetBytes)
+		}
+		v, err := RunCase(context.Background(), t.TempDir(), c, stats)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v != nil {
+			t.Fatalf("seed %d: invariant violation under eviction pressure: %s", seed, v)
+		}
+	}
+	if ran < want {
+		t.Fatalf("found only %d eviction-pressure cases in seed sweep, want %d", ran, want)
+	}
+	t.Logf("eviction pressure: %d cases, %d iterations, %d evictions", stats.EvictCases, stats.Iterations, stats.Evictions)
+	if stats.EvictCases != ran {
+		t.Errorf("stats counted %d eviction-pressure cases, ran %d", stats.EvictCases, ran)
+	}
+	if stats.Evictions == 0 {
+		t.Error("eviction-pressure sweep never evicted a manifest entry")
+	}
+}
+
 // TestInjectedPlannerBugCaughtAndMinimized is the harness's mutation
 // check: deliberately corrupt every plan the planner returns (prune the
 // first live output) and assert the fuzzer catches it, auto-minimizes

@@ -41,6 +41,12 @@ type Stats struct {
 	Restarts      int
 	Cancels       int
 	CancelAborted int
+	// EvictCases counts cases generated in eviction-pressure mode
+	// (Config.EvictPressure); Evictions counts manifest keys that
+	// disappeared between iterations of budgeted cases — actual slot
+	// churn, the behaviour eviction pressure exists to force.
+	EvictCases int
+	Evictions  int
 }
 
 // options lowers the case configuration to session options.
@@ -180,6 +186,9 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 
 	if stats != nil {
 		stats.Cases++
+		if c.Config.EvictPressure {
+			stats.EvictCases++
+		}
 	}
 	subjectStoreDir := filepath.Join(dir, "subject")
 	mandatorySigs := make(map[string]bool)
@@ -471,8 +480,11 @@ func RunCase(ctx context.Context, dir string, c *Case, stats *Stats) (*Violation
 				return nil, err
 			}
 			for key, size := range prevManifest {
-				if mandatorySigs[key] {
-					if _, still := manifest[key]; !still {
+				if _, still := manifest[key]; !still {
+					if stats != nil {
+						stats.Evictions++
+					}
+					if mandatorySigs[key] {
 						purgedMandatoryCredit += size
 						delete(mandatorySigs, key)
 					}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces the 1024-row cancellation rule: inside a function
+// that takes a context, a loop ranging over a row stream (an iter.Seq-
+// shaped func value or a channel) must poll the context — a ctx.Err() /
+// ctx.Done() call somewhere in the body, typically on a bounded stride —
+// or range over a sequence produced by a function annotated
+// `//lint:ctxchecked` (checkedSeq), which polls on the caller's behalf.
+// Without the poll, a cancelled run streams every remaining row before
+// noticing.
+var CtxLoop = &Analyzer{
+	Name: nameCtxLoop,
+	Doc:  "per-row streaming loops must poll ctx on a bounded stride or range a //lint:ctxchecked sequence",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(p *Pass) []Diagnostic {
+	checked := ctxCheckedFuncs(p)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasContextParam(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isStreamRange(p, rng) {
+					return true
+				}
+				if pollsContext(p, rng.Body) || rangesCheckedSeq(p, rng.X, checked) {
+					return true
+				}
+				diags = append(diags, p.report(nameCtxLoop, rng,
+					"streaming loop never polls ctx; check ctx.Err() on a bounded stride (rowCheckInterval) or range a //lint:ctxchecked sequence"))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// ctxCheckedFuncs collects package functions annotated //lint:ctxchecked
+// — their returned sequences poll the context internally.
+func ctxCheckedFuncs(p *Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := directive("ctxchecked", fd.Doc); !ok {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := p.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStreamRange reports whether the range target is a row stream: an
+// iter.Seq-shaped func (single func(...) bool parameter, no results) or
+// a channel.
+func isStreamRange(p *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Signature:
+		if t.Params().Len() != 1 || t.Results().Len() != 0 {
+			return false
+		}
+		yield, ok := t.Params().At(0).Type().Underlying().(*types.Signature)
+		return ok && yield.Results().Len() == 1 &&
+			types.Identical(yield.Results().At(0).Type(), types.Typ[types.Bool])
+	}
+	return false
+}
+
+// pollsContext reports whether body calls Err/Done on a context value.
+func pollsContext(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+				if tv, ok := p.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangesCheckedSeq reports whether the ranged expression is (or
+// contains) a call to a //lint:ctxchecked sequence constructor.
+func rangesCheckedSeq(p *Pass, x ast.Expr, checked map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if checked[calleeFunc(p.Info, call)] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrTaxonomy keeps error paths classifiable: in a package annotated
+// `//lint:errtaxonomy` (exec, the session layer), a function may not
+// return a bare leaf error — fmt.Errorf without a %w wrap, or an inline
+// errors.New — because callers dispatch on the typed taxonomy
+// (errors.Is against sentinels, errors.As against *NodeError). Wrapping
+// a sentinel with %w, returning a typed error, or declaring sentinels at
+// package level all remain legal.
+var ErrTaxonomy = &Analyzer{
+	Name: nameErrTaxonomy,
+	Doc:  "//lint:errtaxonomy packages must return typed/wrapped errors, not bare fmt.Errorf or errors.New",
+	Run:  runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Pass) []Diagnostic {
+	if !p.PackageDirective("errtaxonomy") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if d, ok := bareLeafError(p, res); ok {
+						diags = append(diags, d)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// bareLeafError recognises a returned expression that creates an
+// unclassifiable leaf error.
+func bareLeafError(p *Pass, e ast.Expr) (Diagnostic, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	callee := calleeFunc(p.Info, call)
+	switch {
+	case isPkgFunc(callee, "fmt", "Errorf"):
+		if len(call.Args) > 0 {
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(lit.Value); err == nil && strings.Contains(s, "%w") {
+					return Diagnostic{}, false
+				}
+			}
+		}
+		return p.report(nameErrTaxonomy, call,
+			"returns a bare fmt.Errorf with no %%w; wrap a taxonomy sentinel (fmt.Errorf(\"...: %%w\", Err...)) or return a typed error"), true
+	case isPkgFunc(callee, "errors", "New"):
+		return p.report(nameErrTaxonomy, call,
+			"returns an inline errors.New; declare a package sentinel or wrap one from the taxonomy"), true
+	}
+	return Diagnostic{}, false
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FingerprintFields enforces fingerprint coverage on annotated structs.
+//
+// A struct annotated `//lint:fingerprint F1 F2 ...` promises that every
+// one of its fields influences the plan fingerprint: each field must be
+// read (selected) somewhere inside the named functions, or carry a
+// `//lint:fpexempt <reason>` annotation explaining why it is
+// fingerprint-neutral.
+//
+// A struct annotated `//lint:rebind F1 F2 ...` promises that the named
+// functions rebuild values of the struct wholesale (the plan cache's
+// hit() copy): every composite literal of the struct type inside those
+// functions must assign every non-exempt field, so adding a field
+// without threading it through the rebind copy fails the build — the
+// PR 7 Fused/FusedSigs bug class.
+var FingerprintFields = &Analyzer{
+	Name: nameFingerprintFields,
+	Doc:  "options/plan struct fields must feed the fingerprint (or rebind copy) or carry //lint:fpexempt <reason>",
+	Run:  runFingerprintFields,
+}
+
+func runFingerprintFields(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	decls := funcDecls(p.Files)
+	for _, sd := range structDecls(p.Info, p.Files) {
+		if sd.obj == nil {
+			continue
+		}
+		if d, ok := directive("fingerprint", sd.doc); ok {
+			diags = append(diags, checkFingerprintReads(p, sd, strings.Fields(d.Args), decls)...)
+		}
+		if d, ok := directive("rebind", sd.doc); ok {
+			diags = append(diags, checkRebindLiterals(p, sd, strings.Fields(d.Args), decls)...)
+		}
+	}
+	return diags
+}
+
+// fpexemptReason returns the field's fpexempt reason. The second result
+// is false when the field carries no fpexempt directive at all; an empty
+// reason with ok=true is a misuse the caller diagnoses.
+func fpexemptReason(field *ast.Field) (string, bool) {
+	if d, ok := directive("fpexempt", field.Doc, field.Comment); ok {
+		return strings.TrimSpace(d.Args), true
+	}
+	return "", false
+}
+
+// exemptFields partitions a struct's fields into exempt (with reasons
+// recorded as suppressions) and covered-required, diagnosing reasonless
+// fpexempt annotations.
+func exemptFields(p *Pass, sd structDecl, rule string) (map[string]bool, []Diagnostic) {
+	exempt := make(map[string]bool)
+	var diags []Diagnostic
+	for name, field := range sd.fields {
+		reason, ok := fpexemptReason(field)
+		if !ok {
+			continue
+		}
+		if reason == "" {
+			// Still exempt from the coverage check: the missing reason
+			// is the one finding to fix.
+			exempt[name] = true
+			diags = append(diags, p.report(nameFingerprintFields, field,
+				"field %s of %s: //lint:fpexempt requires a reason", name, sd.obj.Name()))
+			continue
+		}
+		exempt[name] = true
+		p.Suppress(nameFingerprintFields, field, reason,
+			"field %s of %s exempt from %s coverage", name, sd.obj.Name(), rule)
+	}
+	return exempt, diags
+}
+
+func checkFingerprintReads(p *Pass, sd structDecl, funcs []string, decls map[string][]*ast.FuncDecl) []Diagnostic {
+	exempt, diags := exemptFields(p, sd, "fingerprint")
+	read := make(map[string]bool)
+	for _, fn := range funcs {
+		fds := decls[fn]
+		if len(fds) == 0 {
+			diags = append(diags, p.report(nameFingerprintFields, sd.spec,
+				"//lint:fingerprint names %s, but no such function exists in this package", fn))
+			continue
+		}
+		for _, fd := range fds {
+			markFieldReads(p.Info, fd, sd.obj, read)
+		}
+	}
+	for _, field := range sd.st.Fields.List {
+		for _, name := range field.Names {
+			if exempt[name.Name] || read[name.Name] {
+				continue
+			}
+			diags = append(diags, p.report(nameFingerprintFields, name,
+				"field %s of %s is not read by fingerprint function %s; fold it into the fingerprint or annotate //lint:fpexempt <reason>",
+				name.Name, sd.obj.Name(), strings.Join(funcs, "/")))
+		}
+	}
+	return diags
+}
+
+// markFieldReads records every field of the annotated struct selected
+// anywhere inside fd.
+func markFieldReads(info *types.Info, fd *ast.FuncDecl, obj *types.TypeName, read map[string]bool) {
+	if fd.Body == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fieldVars := make(map[types.Object]string, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldVars[st.Field(i)] = st.Field(i).Name()
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := info.Selections[sel]; ok {
+			if name, ok := fieldVars[s.Obj()]; ok {
+				read[name] = true
+			}
+		}
+		return true
+	})
+}
+
+func checkRebindLiterals(p *Pass, sd structDecl, funcs []string, decls map[string][]*ast.FuncDecl) []Diagnostic {
+	exempt, diags := exemptFields(p, sd, "rebind")
+	var required []string
+	for _, field := range sd.st.Fields.List {
+		for _, name := range field.Names {
+			if !exempt[name.Name] {
+				required = append(required, name.Name)
+			}
+		}
+	}
+	for _, fn := range funcs {
+		fds := decls[fn]
+		if len(fds) == 0 {
+			diags = append(diags, p.report(nameFingerprintFields, sd.spec,
+				"//lint:rebind names %s, but no such function exists in this package", fn))
+			continue
+		}
+		for _, fd := range fds {
+			diags = append(diags, checkRebindIn(p, fd, sd, fn, required)...)
+		}
+	}
+	return diags
+}
+
+func checkRebindIn(p *Pass, fd *ast.FuncDecl, sd structDecl, fn string, required []string) []Diagnostic {
+	var diags []Diagnostic
+	if fd.Body == nil {
+		return nil
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[lit]
+		if !ok || namedOf(tv.Type) == nil || namedOf(tv.Type).Obj() != sd.obj {
+			return true
+		}
+		found = true
+		if len(lit.Elts) > 0 {
+			if _, ok := lit.Elts[0].(*ast.KeyValueExpr); !ok {
+				// Positional literal: the compiler already forces every
+				// field to be present.
+				return true
+			}
+		}
+		assigned := make(map[string]bool)
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					assigned[id.Name] = true
+				}
+			}
+		}
+		for _, name := range required {
+			if !assigned[name] {
+				diags = append(diags, p.report(nameFingerprintFields, lit,
+					"rebind copy of %s in %s does not assign field %s; copy it or annotate the field //lint:fpexempt <reason>",
+					sd.obj.Name(), fn, name))
+			}
+		}
+		return true
+	})
+	if !found {
+		diags = append(diags, p.report(nameFingerprintFields, fd,
+			"//lint:rebind names %s, but it builds no %s composite literal", fn, sd.obj.Name()))
+	}
+	return diags
+}

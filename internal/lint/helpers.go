@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a named function (a func value, a
+// builtin, or a type conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	if obj, ok := info.Uses[id].(*types.Func); ok {
+		return obj
+	}
+	if obj, ok := info.Defs[id].(*types.Func); ok {
+		return obj
+	}
+	return nil
+}
+
+// funcDecls returns every function declaration in the package keyed by
+// bare name (methods and functions alike; methods may shadow functions
+// of the same name — the annotated codebase avoids that collision).
+func funcDecls(files []*ast.File) map[string][]*ast.FuncDecl {
+	out := make(map[string][]*ast.FuncDecl)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out[fd.Name.Name] = append(out[fd.Name.Name], fd)
+			}
+		}
+	}
+	return out
+}
+
+// declOf maps a package-local *types.Func back to its declaration.
+func declOf(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// walkWithStack traverses n, invoking fn with each node and the stack of
+// its ancestors (outermost first, excluding the node itself). Returning
+// false prunes the subtree.
+func walkWithStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(node, stack)
+		if keep {
+			stack = append(stack, node)
+		}
+		return keep
+	})
+}
+
+// namedOf unwraps pointers and aliases to the named type underneath, or
+// nil if the type isn't named.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isPkgFunc reports whether obj is the package-level function path.name
+// (not a method).
+func isPkgFunc(obj *types.Func, path, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return false
+	}
+	return obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// structDecls yields every struct type declaration with its spec, the
+// surrounding GenDecl doc, and the resolved named type.
+type structDecl struct {
+	spec   *ast.TypeSpec
+	st     *ast.StructType
+	doc    *ast.CommentGroup
+	obj    *types.TypeName
+	fields map[string]*ast.Field
+}
+
+func structDecls(info *types.Info, files []*ast.File) []structDecl {
+	var out []structDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				obj, _ := info.Defs[ts.Name].(*types.TypeName)
+				sd := structDecl{spec: ts, st: st, doc: doc, obj: obj,
+					fields: make(map[string]*ast.Field)}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						sd.fields[name.Name] = field
+					}
+				}
+				out = append(out, sd)
+			}
+		}
+	}
+	return out
+}

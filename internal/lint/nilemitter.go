@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilEmitter preserves the zero-allocation observer-off guarantee: a
+// composite literal of any type whose name ends in "Event" may only be
+// built where a nil guard dominates it, so that when no observer is
+// installed no event value is ever materialised.
+//
+// Two guard shapes are accepted:
+//
+//  1. the enclosing function's first statement is a nil-return guard
+//     (`if em == nil { return }`) — the emitter-method pattern;
+//  2. the literal sits in the branch of an if statement that its
+//     condition proves non-nil (`x != nil { ... }`, or the else branch
+//     of `x == nil`).
+var NilEmitter = &Analyzer{
+	Name: nameNilEmitter,
+	Doc:  "event construction must be dominated by a nil-emitter guard (zero-alloc when observer off)",
+	Run:  runNilEmitter,
+}
+
+func runNilEmitter(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guardedFunc := startsWithNilReturnGuard(fd)
+			walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				named := namedOf(p.Info.Types[lit].Type)
+				if named == nil || !isEventTypeName(named.Obj().Name()) {
+					return true
+				}
+				if guardedFunc || nilGuardedBy(stack, lit) {
+					return true
+				}
+				diags = append(diags, p.report(nameNilEmitter, lit,
+					"%s constructed without a dominating nil-emitter guard; allocate events only behind `if em == nil { return }` or `if obs != nil { ... }`",
+					named.Obj().Name()))
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func isEventTypeName(name string) bool {
+	return len(name) > len("Event") && name[len(name)-len("Event"):] == "Event"
+}
+
+// startsWithNilReturnGuard reports whether fd opens with
+// `if x == nil { return ... }`.
+func startsWithNilReturnGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL || !isNilIdent(bin.X) && !isNilIdent(bin.Y) {
+		return false
+	}
+	for _, stmt := range ifs.Body.List {
+		if _, ok := stmt.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilGuardedBy reports whether some enclosing if statement proves a
+// non-nil condition on the branch containing lit.
+func nilGuardedBy(stack []ast.Node, lit *ast.CompositeLit) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := within(ifs.Body, lit.Pos())
+		inElse := ifs.Else != nil && within(ifs.Else, lit.Pos())
+		if condHasNilCompare(ifs.Cond, token.NEQ) && inBody {
+			return true
+		}
+		if condHasNilCompare(ifs.Cond, token.EQL) && inElse {
+			return true
+		}
+	}
+	return false
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// condHasNilCompare reports whether cond contains `x <op> nil` (searching
+// through && and || and parens).
+func condHasNilCompare(cond ast.Expr, op token.Token) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == op && (isNilIdent(e.X) || isNilIdent(e.Y)) {
+			return true
+		}
+		if e.Op == token.LAND || e.Op == token.LOR {
+			return condHasNilCompare(e.X, op) || condHasNilCompare(e.Y, op)
+		}
+	}
+	return false
+}

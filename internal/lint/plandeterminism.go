@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PlanDeterminism enforces byte-stable planning: in a package annotated
+// `//lint:deterministic` (plan, opt, maxflow — everything upstream of
+// the plan fingerprint), code may not
+//
+//   - consult the wall clock (time.Now/Since/Until),
+//   - draw from the process-global math/rand source (package-level
+//     functions; an explicitly seeded *rand.Rand is fine), or
+//   - range over a map into an order-sensitive sink: appending to a
+//     slice declared outside the loop (unless the slice is sorted
+//     afterwards in the same block), hashing (Write*/Sum calls), or
+//     building a string with +=.
+//
+// Map-to-map transfers stay legal — they are order-insensitive.
+var PlanDeterminism = &Analyzer{
+	Name: namePlanDeterminism,
+	Doc:  "//lint:deterministic packages must not use wall clocks, global rand, or ordered map iteration",
+	Run:  runPlanDeterminism,
+}
+
+func runPlanDeterminism(p *Pass) []Diagnostic {
+	if !p.PackageDirective("deterministic") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if d, ok := nondeterministicCall(p, n); ok {
+					diags = append(diags, d)
+				}
+			case *ast.RangeStmt:
+				diags = append(diags, checkMapRange(p, n, stack)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func nondeterministicCall(p *Pass, call *ast.CallExpr) (Diagnostic, bool) {
+	obj := calleeFunc(p.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			return p.report(namePlanDeterminism, call,
+				"call to time.%s in a //lint:deterministic package; plans and fingerprints must be byte-stable",
+				obj.Name()), true
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+			return p.report(namePlanDeterminism, call,
+				"call to global %s.%s in a //lint:deterministic package; use an explicitly seeded *rand.Rand",
+				obj.Pkg().Name(), obj.Name()), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, stack []ast.Node) []Diagnostic {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if d, ok := orderSensitiveAssign(p, n, rng, stack); ok {
+				diags = append(diags, d)
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "Sum":
+					if _, isMethod := p.Info.Selections[sel]; isMethod {
+						diags = append(diags, p.report(namePlanDeterminism, n,
+							"map iteration feeds %s — hash/buffer input depends on map order", sel.Sel.Name))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// orderSensitiveAssign flags `x = append(x, ...)` and string `x += ...`
+// inside a map-range body when x outlives the loop and is not sorted
+// afterwards in the enclosing block.
+func orderSensitiveAssign(p *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, stack []ast.Node) (Diagnostic, bool) {
+	if len(as.Lhs) != 1 {
+		return Diagnostic{}, false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil || obj.Pos() >= rng.Pos() {
+		// Declared inside the loop; its order-sensitivity dies with the
+		// iteration.
+		return Diagnostic{}, false
+	}
+	isAppend := false
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" {
+				isAppend = true
+			}
+		}
+	}
+	isStrConcat := as.Tok.String() == "+=" && types.Identical(obj.Type(), types.Typ[types.String])
+	if !isAppend && !isStrConcat {
+		return Diagnostic{}, false
+	}
+	if isAppend && sortedAfter(p, rng, stack, obj) {
+		return Diagnostic{}, false
+	}
+	verb := "appends to"
+	if isStrConcat {
+		verb = "concatenates into"
+	}
+	return p.report(namePlanDeterminism, as,
+		"map iteration %s %s, which outlives the loop; sort the result or iterate sorted keys", verb, id.Name), true
+}
+
+// sortedAfter reports whether a statement after rng in its enclosing
+// block passes obj to a sort/slices call — the collect-then-sort idiom.
+func sortedAfter(p *Pass, rng *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			switch callee.Pkg().Path() {
+			case "sort", "slices":
+				if usesObject(p, call, obj) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func usesObject(p *Pass, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

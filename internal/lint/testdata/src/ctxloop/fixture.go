@@ -1,0 +1,73 @@
+// Package ctxloop exercises the bounded-stride cancellation rule for
+// per-row streaming loops.
+package ctxloop
+
+import "context"
+
+type row struct{ id int }
+
+type seq func(yield func(row) bool)
+
+func drainUnchecked(ctx context.Context, rows seq) int {
+	n := 0
+	for range rows { // want "streaming loop never polls ctx"
+		n++
+	}
+	return n
+}
+
+func drainStride(ctx context.Context, rows seq) int {
+	n := 0
+	for r := range rows {
+		_ = r
+		n++
+		if n%1024 == 0 && ctx.Err() != nil {
+			break
+		}
+	}
+	return n
+}
+
+// checked wraps rows with a context poll on a bounded stride, so
+// consumers may range it freely.
+//
+//lint:ctxchecked
+func checked(ctx context.Context, rows seq) seq {
+	return func(yield func(row) bool) {
+		n := 0
+		for r := range rows {
+			n++
+			if n%1024 == 0 && ctx.Err() != nil {
+				return
+			}
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+func drainViaChecked(ctx context.Context, rows seq) int {
+	n := 0
+	for range checked(ctx, rows) {
+		n++
+	}
+	return n
+}
+
+func drainChan(ctx context.Context, ch chan row) int {
+	n := 0
+	for range ch { // want "streaming loop never polls ctx"
+		n++
+	}
+	return n
+}
+
+// noCtx takes no context; cancellation is the caller's concern.
+func noCtx(rows seq) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}

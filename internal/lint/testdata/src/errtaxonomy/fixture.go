@@ -1,0 +1,37 @@
+// Package errtaxonomy exercises the typed-error-taxonomy rule.
+//
+//lint:errtaxonomy
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadPlan is a package sentinel: declaring leaves at package level is
+// the taxonomy, not a violation.
+var ErrBadPlan = errors.New("errtaxonomy: bad plan")
+
+type NodeError struct {
+	Op  string
+	Err error
+}
+
+func (e *NodeError) Error() string { return e.Op + ": " + e.Err.Error() }
+func (e *NodeError) Unwrap() error { return e.Err }
+
+func wrapped(n int) error {
+	return fmt.Errorf("plan has %d nodes: %w", n, ErrBadPlan)
+}
+
+func typed(op string, err error) error {
+	return &NodeError{Op: op, Err: err}
+}
+
+func bare(n int) error {
+	return fmt.Errorf("plan has %d nodes", n) // want "bare fmt.Errorf with no %w"
+}
+
+func leaf() error {
+	return errors.New("something broke") // want "inline errors.New"
+}

@@ -1,0 +1,18 @@
+// Package exemptions exercises //lint:exempt mechanics: a reasoned
+// exemption suppresses (and records) the finding; a reasonless one is
+// itself a finding.
+//
+//lint:errtaxonomy
+package exemptions
+
+import "fmt"
+
+func waived() error {
+	//lint:exempt errtaxonomy caller wraps into the typed taxonomy
+	return fmt.Errorf("transient glitch")
+}
+
+func reasonless() error {
+	//lint:exempt errtaxonomy
+	return fmt.Errorf("transient glitch")
+}

@@ -1,0 +1,48 @@
+// Package fingerprintfields exercises fingerprint and rebind coverage:
+// annotated structs must feed every field into the fingerprint function
+// or the cache rebind copy, or exempt it with a reason.
+package fingerprintfields
+
+import "fmt"
+
+// Options mirrors the planner knobs that condition plan identity.
+//
+//lint:fingerprint fingerprintInputs
+type Options struct {
+	DisableReuse bool
+	Streaming    bool
+	Leaked       bool // want "field Leaked of Options is not read by fingerprint function fingerprintInputs"
+	//lint:fpexempt observer wiring never affects plan identity
+	Observer func()
+	//lint:fpexempt
+	Misused bool // want "field Misused of Options: //lint:fpexempt requires a reason"
+}
+
+func fingerprintInputs(o Options) string {
+	return fmt.Sprintf("%v|%v", o.DisableReuse, o.Streaming)
+}
+
+// Misnamed points its directive at a function that does not exist.
+//
+//lint:fingerprint nosuchFunc
+type Misnamed struct { // want "names nosuchFunc, but no such function exists"
+	A bool // want "field A of Misnamed is not read"
+}
+
+// Plan is rebind-copied on cache hits; every field must survive the
+// copy.
+//
+//lint:rebind rebindHit
+type Plan struct {
+	Nodes  int
+	Fused  []int
+	Solves int
+	//lint:fpexempt lookup index, rebuilt lazily on first use
+	byName map[string]int
+}
+
+func rebindHit(p *Plan) *Plan {
+	return &Plan{ // want "does not assign field Fused" "does not assign field Solves"
+		Nodes: p.Nodes,
+	}
+}

@@ -1,0 +1,69 @@
+// Package lockio exercises the lock-across-I/O rule for annotated
+// mutexes.
+package lockio
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	//lint:nolockio
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// put releases the shard lock before touching disk — the store's design
+// rule.
+func (s *shard) put(name string, v int) {
+	s.mu.Lock()
+	s.items[name] = v
+	s.mu.Unlock()
+	_ = os.WriteFile(name, nil, 0o644)
+}
+
+func (s *shard) bad(name string) {
+	s.mu.Lock()
+	_ = os.WriteFile(name, nil, 0o644) // want "mutex shard.mu .* held across call to os.WriteFile"
+	s.mu.Unlock()
+}
+
+func (s *shard) badDefer(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	throttle() // want "mutex shard.mu .* held across call to .*throttle"
+}
+
+// throttle reaches I/O transitively through time.Sleep, like the store's
+// simulated-disk bandwidth throttle.
+func throttle() { time.Sleep(time.Millisecond) }
+
+// registryMu is a package-level annotated mutex, like the codec's
+// extension-registry lock.
+var (
+	//lint:nolockio
+	registryMu sync.RWMutex
+)
+
+func register(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	_ = os.Remove(name) // want "mutex registryMu .* held across call to os.Remove"
+}
+
+func lookup(name string) {
+	registryMu.RLock()
+	registryMu.RUnlock()
+	_ = os.Remove(name)
+}
+
+type session struct {
+	mu sync.RWMutex // unannotated: allowed to hold across I/O
+}
+
+func (s *session) flushUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = os.Remove("x")
+}

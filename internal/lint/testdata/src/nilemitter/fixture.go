@@ -1,0 +1,51 @@
+// Package nilemitter exercises the zero-alloc observer-off rule: event
+// values may only be constructed behind a nil guard.
+package nilemitter
+
+// NodeEvent and PlanEvent stand in for the exec run events.
+type NodeEvent struct{ Name string }
+
+type PlanEvent struct{ N int }
+
+type emitter struct{ obs func(any) }
+
+func newEmitter(obs func(any)) *emitter {
+	if obs == nil {
+		return nil
+	}
+	return &emitter{obs: obs}
+}
+
+// node follows the emitter-method pattern: first-statement nil guard.
+func (em *emitter) node(name string) {
+	if em == nil {
+		return
+	}
+	em.obs(NodeEvent{Name: name})
+}
+
+// bad builds the event before any guard runs.
+func (em *emitter) bad(name string) {
+	em.obs(NodeEvent{Name: name}) // want "NodeEvent constructed without a dominating nil-emitter guard"
+}
+
+func guardedCaller(em *emitter) {
+	if em != nil {
+		em.obs(PlanEvent{N: 1})
+	}
+}
+
+func elseGuarded(em *emitter) {
+	if em == nil {
+		return
+	} else {
+		em.obs(PlanEvent{N: 2})
+	}
+}
+
+func unguarded(em *emitter) {
+	ev := PlanEvent{N: 3} // want "PlanEvent constructed without a dominating nil-emitter guard"
+	if em != nil {
+		em.obs(ev)
+	}
+}

@@ -1,0 +1,61 @@
+// Package plandeterminism exercises the byte-stable-planning rules.
+//
+//lint:deterministic
+package plandeterminism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().Unix() // want "call to time.Now"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "call to global rand.Intn"
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration appends to out"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func transfer(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "map iteration concatenates into s"
+	}
+	return s
+}
+
+func hashKeys(m map[string]int, h interface{ Write([]byte) (int, error) }) {
+	for k := range m {
+		h.Write([]byte(k)) // want "map iteration feeds Write"
+	}
+}

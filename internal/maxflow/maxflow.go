@@ -5,6 +5,12 @@
 // The paper (§5.2) reduces the optimal-execution-plan problem to the
 // PROJECT SELECTION PROBLEM, which in turn reduces to MAX-FLOW; the
 // Edmonds–Karp algorithm gives the O(V·E²) bound cited in the paper.
+//
+// helixlint (plandeterminism) holds this package to byte-stable output:
+// min-cut assignments feed the plan fingerprint, so equal inputs must
+// solve identically.
+//
+//lint:deterministic
 package maxflow
 
 import (

@@ -12,6 +12,12 @@
 //
 // Brute-force reference implementations of both problems are provided for
 // property-based testing on small inputs.
+//
+// helixlint (plandeterminism) holds this package to byte-stable output:
+// state assignments and materialization picks feed the plan fingerprint,
+// so equal inputs must decide identically.
+//
+//lint:deterministic
 package opt
 
 import "helix/internal/maxflow"

@@ -35,7 +35,12 @@ func (f Fingerprint) String() string {
 
 // nodeKey is one node's contribution to the fingerprint, kept in raw
 // (comparable) form by the cache so a fingerprint mismatch can be
-// localized to the exact dirty nodes without re-hashing.
+// localized to the exact dirty nodes without re-hashing. helixlint
+// requires every field to be digested by fingerprintInputs: a key field
+// that keys cache comparisons but not the hash would let unequal inputs
+// collide.
+//
+//lint:fingerprint fingerprintInputs
 type nodeKey struct {
 	name       string
 	chainSig   string

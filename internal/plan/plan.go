@@ -30,6 +30,13 @@
 // project-selection objective is separable across weakly-connected
 // components of the live slice — an untouched component's cached states
 // remain exactly optimal.
+//
+// helixlint (plandeterminism) holds this package to byte-stable output:
+// no wall clocks, no global randomness, no map iteration into
+// order-sensitive sinks — equal inputs must always hash and plan
+// identically.
+//
+//lint:deterministic
 package plan
 
 import (
@@ -57,6 +64,11 @@ type MatView interface {
 
 // Options configures planning. The zero value plans with reuse and
 // pruning enabled and no mandatory output materialization.
+//
+// Every field here conditions plan identity, so every field must be
+// folded into the fingerprint — helixlint enforces the coverage.
+//
+//lint:fingerprint fingerprintInputs
 type Options struct {
 	// DisableReuse ignores existing materializations: every live node is
 	// computed (models KeystoneML and DeepDive, which never reuse across
@@ -157,6 +169,13 @@ type PurgeSpec struct {
 
 // Plan is a self-contained execution plan for one iteration: every
 // decision the engine will carry out, plus the evidence behind it.
+//
+// Plans are rebuilt wholesale by the cache's hit() rebind and by
+// CloneRows; helixlint requires every non-exempt field to be assigned in
+// those literals, so a new field cannot silently vanish on a cache hit
+// (the way Fused/FusedSigs once did).
+//
+//lint:rebind hit CloneRows
 type Plan struct {
 	// Iteration is the iteration the plan was built for.
 	Iteration int
@@ -180,6 +199,8 @@ type Plan struct {
 	// accounting for the adaptive re-planner's speculation budget —
 	// unlike the process-wide opt.SolveCount, it is unaffected by
 	// concurrent planners.
+	//
+	//lint:fpexempt per-call accounting, not plan state: a hit runs zero solves, so the rebind's zero value is the correct count
 	Solves int
 	// Fused lists the plan's fused runs (Options.Streaming): each entry is
 	// ≥2 Plan.Nodes indices forming a linear chain of streamable compute
@@ -201,9 +222,13 @@ type Plan struct {
 	// byNode/byName are built lazily on first lookup: most plans are
 	// executed, not queried, and two map constructions per iteration were
 	// measurable on 1000-node workflows.
+	//
+	//lint:fpexempt lazy lookup index, rebuilt on first For/ByName via initMaps; copying would alias stale rows
 	mapsOnce sync.Once
-	byNode   map[*core.Node]*NodePlan
-	byName   map[string]*NodePlan
+	//lint:fpexempt lazy lookup index, rebuilt on first For/ByName via initMaps; copying would alias stale rows
+	byNode map[*core.Node]*NodePlan
+	//lint:fpexempt lazy lookup index, rebuilt on first For/ByName via initMaps; copying would alias stale rows
+	byName map[string]*NodePlan
 	// anc holds every node's ancestor set as a bitset over Plan.Nodes
 	// indices, ancWords words per node — V²/64 words total, computed once
 	// here so the executor's retirement path can price C(n) from measured

@@ -128,6 +128,7 @@ type Ext struct {
 }
 
 var (
+	//lint:nolockio
 	extMu     sync.RWMutex
 	extByType = map[reflect.Type]*Ext{}
 	extByName = map[string]*Ext{}

@@ -44,6 +44,7 @@ const loadAdoptBand = 1.7
 // throughput genuinely contradicts it, while still converging within a
 // factor √2 of the measured bandwidth when it does.
 type loadModel struct {
+	//lint:nolockio
 	mu      sync.Mutex
 	bytes   float64 // decayed cumulative bytes read
 	secs    float64 // decayed cumulative read seconds

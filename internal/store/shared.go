@@ -28,6 +28,7 @@ import (
 type Shared struct {
 	store *Store
 
+	//lint:nolockio
 	mu     sync.Mutex
 	closed bool
 	atts   map[int]*Attachment
@@ -36,6 +37,7 @@ type Shared struct {
 // sharedState lives on the Store so Purge and manifest snapshots can
 // consult pins without reaching back through the Shared handle.
 type sharedState struct {
+	//lint:nolockio
 	mu   sync.Mutex
 	next int
 	// pins maps a live attachment id to the chain signatures its session's

@@ -82,6 +82,9 @@ func (s *Store) WriterPoolSize() int {
 
 // writerPool is the bounded background pool behind PutAsync/Flush/Close.
 type writerPool struct {
+	// mu guards the pool's counters and error slot; workers perform the
+	// actual disk writes after dequeuing, outside the lock.
+	//lint:nolockio
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   chan WriteRequest

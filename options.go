@@ -32,17 +32,28 @@ type Option struct {
 // config is a Session's resolved configuration: the legacy Options knob
 // set plus the option-only additions. A Session keeps its baseline
 // config; Run/Plan copy it and apply run-scoped overrides.
+//
+// helixlint (fingerprintfields) checks every field against configToken,
+// the plan-cache conditioning token: a new field must either feed the
+// token or carry an //lint:fpexempt reason saying why plan reuse is
+// safe without it.
+//
+//lint:fingerprint configToken
 type config struct {
-	o         Options
+	o Options
+	//lint:fpexempt I/O pool sizing, not plan identity (mirrors exec.Options.IOWorkers)
 	ioWorkers int
-	observer  RunObserver
+	//lint:fpexempt observer wiring never affects plan identity
+	observer RunObserver
 	// shared attaches the session to a cross-session content-addressed
 	// store + plan cache (WithSharedStore); nil opens a private store.
+	//lint:fpexempt store attachment, not plan identity; the store's materialized view enters the fingerprint as per-node chain signatures
 	shared *SharedStore
 	// tenant labels published artifacts for shared-store byte accounting
 	// (WithTenant). Deliberately not part of configToken: tenants under
 	// identical configurations share plans — only byte accounting is
 	// namespaced.
+	//lint:fpexempt byte-accounting label on published artifacts; content addressing already keys identity
 	tenant string
 	// adaptive arms mid-run adaptive re-planning with the given divergence
 	// threshold (WithAdaptive); 0 disables.
@@ -52,8 +63,10 @@ type config struct {
 	adaptiveSolves int
 	// runScope records which scope the options are being applied at, for
 	// options whose scope depends on their arguments (WithWorkerClass).
+	//lint:fpexempt transient apply-time state, discarded before planning
 	runScope bool
 	// err records the first invalid option value; checked after apply.
+	//lint:fpexempt transient apply-time state, discarded before planning
 	err error
 }
 

@@ -57,6 +57,13 @@ const (
 //
 // Deprecated: configure sessions with Open and functional options, which
 // additionally support run-scoped overrides on Run and Plan.
+//
+// helixlint (fingerprintfields) checks every field against configToken
+// (and its budget helper), the plan-cache conditioning token: a new
+// engine-level knob must feed the token or carry an //lint:fpexempt
+// reason saying why plan reuse is safe without it.
+//
+//lint:fingerprint configToken budget
 type Options struct {
 	// Policy selects the materialization strategy. Default PolicyOpt.
 	Policy Policy
@@ -72,28 +79,36 @@ type Options struct {
 	Domain string
 	// DisableReuse turns off cross-iteration reuse (the KeystoneML and
 	// DeepDive baselines do not reuse automatically).
+	//lint:fpexempt planner-level knob; enters the fingerprint via plan.Options.DisableReuse
 	DisableReuse bool
 	// DisablePruning turns off program slicing (ablation).
+	//lint:fpexempt planner-level knob; enters the fingerprint via plan.Options.DisablePruning
 	DisablePruning bool
 	// SampleMemory enables heap sampling for Figure 10.
+	//lint:fpexempt observability only; sampling never changes what is planned or computed
 	SampleMemory bool
 	// DPRSlowdown multiplies DPR operator cost (models DeepDive's
 	// Python/shell preprocessing; §6.5.2). 0 or 1 disables.
+	//lint:fpexempt execution-side sleep; its effect reaches the fingerprint through the carried cost statistics of the runs it slows
 	DPRSlowdown float64
 	// LISlowdown multiplies L/I operator cost (models KeystoneML's
 	// training-data caching miss; §6.5.2). 0 or 1 disables.
+	//lint:fpexempt execution-side sleep; its effect reaches the fingerprint through the carried cost statistics of the runs it slows
 	LISlowdown float64
 	// DiskBytesPerSec simulates a disk with the given throughput for
 	// loads and writes; 0 uses real disk speed. The paper's environment
 	// is 170 MB/s (§6.3).
+	//lint:fpexempt simulated throughput shapes measured load costs, which reach the fingerprint as per-node load estimates
 	DiskBytesPerSec float64
 	// SyncMaterialization disables write-behind materialization: results
 	// are serialized and written inline on the worker goroutine that
 	// computed them, putting the full materialization cost back on each
 	// iteration's critical path. Default false (write-behind).
+	//lint:fpexempt write-behind vs inline changes when bytes hit disk, not what is planned
 	SyncMaterialization bool
 	// MatWriters sizes the store's background writer pool for write-behind
 	// materialization; ≤0 uses the store default.
+	//lint:fpexempt store writer-pool sizing, not plan identity
 	MatWriters int
 	// Parallelism bounds the execution scheduler's worker pool: at most
 	// this many operators run concurrently, regardless of DAG width. ≤0
@@ -107,6 +122,7 @@ type Options struct {
 	// ancestor-bitset construction, and the max-flow solve — or
 	// re-solves only the changed components on a partial match.
 	// PlanCacheOff forces a cold solve every iteration.
+	//lint:fpexempt controls the plan cache itself; a mode change can only force cold solves, never stale reuse
 	PlanCache PlanCacheMode
 	// CriticalPath selects the execution scheduler's ready-queue
 	// ordering. The zero value, SchedCriticalPath, starts the ready node
@@ -114,16 +130,19 @@ type Options struct {
 	// plan's ProjectedTail values) so stragglers on unbalanced DAGs
 	// claim workers early; it degrades to FIFO when no projections
 	// exist. SchedFIFO forces pure arrival order.
+	//lint:fpexempt ready-queue ordering changes execution interleaving, never the plan
 	CriticalPath SchedMode
 	// DisableStreaming turns off fused streaming execution: every
 	// streamable operator (MapRows/FilterRows/FlatMapRows) runs as an
 	// ordinary batch operator with its own scheduler slot and fully
 	// built output. Default false (streaming on).
+	//lint:fpexempt planner-level knob; enters the fingerprint via plan.Options.Streaming
 	DisableStreaming bool
 	// Codec selects the store's serialization format. The zero value,
 	// CodecBinary, is the columnar binary codec; CodecGob writes legacy
 	// encoding/gob. Both read either format (the binary header is
 	// sniffed), so existing artifacts stay loadable across the switch.
+	//lint:fpexempt serialization format; both codecs read either format, so materialized artifacts stay valid across a switch
 	Codec Codec
 }
 
@@ -194,6 +213,7 @@ type Session struct {
 	// instances keyed by config.policyKey. Memoization makes run-scoped
 	// policy overrides stateful in the useful sense: reverting to a
 	// configuration resumes its policy's budget accounting.
+	//lint:nolockio
 	polMu    sync.Mutex
 	policies map[string]opt.MatPolicy
 
@@ -202,7 +222,9 @@ type Session struct {
 
 	// mu guards the iteration state below; critical sections are short
 	// (snapshot at Run entry, update at Run exit) so Plan and History can
-	// read consistently while a Run is in flight.
+	// read consistently while a Run is in flight. State persistence
+	// snapshots under the lock and writes after release.
+	//lint:nolockio
 	mu      sync.Mutex
 	prev    *core.DAG
 	iter    int
@@ -320,7 +342,7 @@ func Open(dir string, opts ...Option) (*Session, error) {
 // Deprecated: use Open with functional options.
 func NewSession(dir string, options ...Options) (*Session, error) {
 	if len(options) > 1 {
-		return nil, fmt.Errorf("helix: at most one Options value")
+		return nil, tagged(ErrBadConfig, fmt.Errorf("helix: at most one Options value"))
 	}
 	if len(options) == 1 {
 		return Open(dir, WithOptions(options[0]))

@@ -33,6 +33,7 @@ type SharedStore struct {
 	cache  *plan.SharedCache
 
 	// mu guards the first-attach store-level configuration below.
+	//lint:nolockio
 	mu     sync.Mutex
 	cfgSig string // store-level settings pinned by the first session
 }

@@ -105,7 +105,7 @@ func rowSeq[In any](v any) (iter.Seq[any], error) {
 	}
 	in, ok := v.([]In)
 	if !ok {
-		return nil, fmt.Errorf("helix: streaming operator expects %T input, got %T", in, v)
+		return nil, tagged(ErrBadWorkflow, fmt.Errorf("helix: streaming operator expects %T input, got %T", in, v))
 	}
 	return func(yield func(any) bool) {
 		for _, r := range in {
